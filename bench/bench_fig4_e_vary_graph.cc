@@ -1,0 +1,108 @@
+// Fig. 4(e): scalability with |G| on Synthetic graphs (Exp-2).
+//
+// Paper: |G| from (10M, 20M) to (80M, 100M) nodes/edges with |ΔG| fixed
+// at 15%. Here the same sweep at 1/1000 scale. Shape to reproduce: all
+// algorithms take longer on larger G; incremental algorithms are much
+// LESS sensitive to |G| than their batch counterparts.
+
+#include "bench_common.h"
+
+namespace {
+
+using ngd::bench::CachedWorkload;
+using ngd::bench::MakeBatch;
+using ngd::bench::RegisterTimed;
+using ngd::bench::RunDect;
+using ngd::bench::RunIncDect;
+using ngd::bench::RunPDect;
+using ngd::bench::RunPIncDect;
+using ngd::bench::TimingStore;
+using ngd::bench::VariantOptions;
+using ngd::bench::Workload;
+using ngd::bench::WorkloadSpec;
+
+struct SizeCase {
+  const char* name;
+  size_t nodes;
+  size_t edges;
+};
+
+// (10M,20M) ... (80M,100M) at 1/1000.
+const SizeCase kSizes[] = {
+    {"10k_20k", 10000, 20000},
+    {"20k_40k", 20000, 40000},
+    {"30k_60k", 30000, 60000},
+    {"60k_80k", 60000, 80000},
+    {"80k_100k", 80000, 100000},
+};
+
+constexpr double kFraction = 0.15;
+
+std::string Key(const SizeCase& sc, const char* algo) {
+  return std::string("Fig4e/G=") + sc.name + "/" + algo;
+}
+
+WorkloadSpec SpecFor(const SizeCase& sc) {
+  WorkloadSpec spec;
+  spec.graph_config = ngd::SyntheticConfig(sc.nodes, sc.edges);
+  spec.num_rules = 15;
+  spec.max_diameter = 3;
+  return spec;
+}
+
+void RegisterAll() {
+  for (const SizeCase& sc : kSizes) {
+    auto with_batch = [sc](auto run) {
+      return [sc, run]() {
+        Workload& w = CachedWorkload(sc.name, SpecFor(sc));
+        ngd::UpdateBatch batch = MakeBatch(w.graph.get(), kFraction, 77);
+        if (!ngd::ApplyUpdateBatch(w.graph.get(), &batch).ok()) std::abort();
+        double s = run(w, batch);
+        w.graph->Rollback();
+        return s;
+      };
+    };
+    RegisterTimed(Key(sc, "Dect"),
+                  with_batch([](Workload& w, const ngd::UpdateBatch&) {
+                    return RunDect(w);
+                  }));
+    RegisterTimed(Key(sc, "IncDect"),
+                  with_batch([](Workload& w, const ngd::UpdateBatch& b) {
+                    return RunIncDect(w, b);
+                  }));
+    RegisterTimed(Key(sc, "PDect"),
+                  with_batch([](Workload& w, const ngd::UpdateBatch&) {
+                    return RunPDect(w, 4);
+                  }));
+    RegisterTimed(Key(sc, "PIncDect"),
+                  with_batch([](Workload& w, const ngd::UpdateBatch& b) {
+                    return RunPIncDect(w, b, VariantOptions("PIncDect", 4));
+                  }));
+  }
+}
+
+void PrintShapeCheck() {
+  TimingStore& store = TimingStore::Instance();
+  std::printf("\n=== SHAPE CHECK vs paper Fig 4(e) ===\n");
+  const SizeCase& small = kSizes[0];
+  const SizeCase& large = kSizes[4];
+  double dect_growth = store.Speedup(Key(large, "Dect"), Key(small, "Dect"));
+  double inc_growth =
+      store.Speedup(Key(large, "IncDect"), Key(small, "IncDect"));
+  // Speedup(large, small) = t_large / t_small = growth factor.
+  std::printf("  Dect time grows %.1fx from %s to %s\n", dect_growth,
+              small.name, large.name);
+  std::printf("  IncDect time grows %.1fx over the same range\n", inc_growth);
+  std::printf("  paper shape: incremental grows slower than batch -> %s\n",
+              inc_growth < dect_growth ? "REPRODUCED" : "NOT reproduced");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  PrintShapeCheck();
+  return 0;
+}

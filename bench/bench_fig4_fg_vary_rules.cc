@@ -1,0 +1,104 @@
+// Fig. 4(f)/(g): impact of ||Σ|| on DBpedia-like and YAGO2-like graphs
+// (Exp-3), |ΔG| fixed at 15%.
+//
+// Paper: ||Σ|| from 50 to 100 (50→100 here scaled 50→100 × 1/5 = 10→20
+// rules; their industry collaborator uses ≤95 rules). Shape: all
+// algorithms take longer with more NGDs; IncDect/PIncDect scale well
+// (roughly linearly) with ||Σ||.
+
+#include "bench_common.h"
+
+namespace {
+
+using ngd::bench::CachedWorkload;
+using ngd::bench::MakeBatch;
+using ngd::bench::RegisterTimed;
+using ngd::bench::RunDect;
+using ngd::bench::RunIncDect;
+using ngd::bench::RunPDect;
+using ngd::bench::RunPIncDect;
+using ngd::bench::TimingStore;
+using ngd::bench::VariantOptions;
+using ngd::bench::Workload;
+using ngd::bench::WorkloadSpec;
+
+constexpr size_t kRuleCounts[] = {10, 12, 14, 16, 18, 20};  // 50..100 / 5
+constexpr double kFraction = 0.15;
+
+struct GraphCase {
+  const char* name;
+  char panel;
+};
+const GraphCase kGraphs[] = {{"dbpedia-like", 'f'}, {"yago2-like", 'g'}};
+
+WorkloadSpec SpecFor(const std::string& name, size_t rules) {
+  WorkloadSpec spec;
+  spec.graph_config = name == "dbpedia-like"
+                          ? ngd::DBpediaLikeConfig(1.0 / 1000)
+                          : ngd::Yago2LikeConfig(1.0 / 500);
+  spec.num_rules = rules;
+  spec.max_diameter = 3;
+  return spec;
+}
+
+std::string Key(const GraphCase& gc, const char* algo, size_t rules) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "Fig4%c/%s/%s/rules=%zu", gc.panel,
+                gc.name, algo, rules);
+  return buf;
+}
+
+void RegisterAll() {
+  for (const GraphCase& gc : kGraphs) {
+    for (size_t rules : kRuleCounts) {
+      std::string cache_key = std::string(gc.name) + std::to_string(rules);
+      auto with_batch = [gc, rules, cache_key](auto run) {
+        return [gc, rules, cache_key, run]() {
+          Workload& w = CachedWorkload(cache_key, SpecFor(gc.name, rules));
+          ngd::UpdateBatch batch = MakeBatch(w.graph.get(), kFraction, 88);
+          if (!ngd::ApplyUpdateBatch(w.graph.get(), &batch).ok()) {
+            std::abort();
+          }
+          double s = run(w, batch);
+          w.graph->Rollback();
+          return s;
+        };
+      };
+      RegisterTimed(Key(gc, "Dect", rules),
+                    with_batch([](Workload& w, const ngd::UpdateBatch&) {
+                      return RunDect(w);
+                    }));
+      RegisterTimed(Key(gc, "IncDect", rules),
+                    with_batch([](Workload& w, const ngd::UpdateBatch& b) {
+                      return RunIncDect(w, b);
+                    }));
+      RegisterTimed(Key(gc, "PIncDect", rules),
+                    with_batch([](Workload& w, const ngd::UpdateBatch& b) {
+                      return RunPIncDect(w, b,
+                                         VariantOptions("PIncDect", 4));
+                    }));
+    }
+  }
+}
+
+void PrintShapeCheck() {
+  TimingStore& store = TimingStore::Instance();
+  std::printf("\n=== SHAPE CHECK vs paper Fig 4(f)/(g) ===\n");
+  for (const GraphCase& gc : kGraphs) {
+    double growth = store.Speedup(Key(gc, "IncDect", 20),
+                                  Key(gc, "IncDect", 10));
+    std::printf("  [%s] IncDect time grows %.2fx as ||Sigma|| doubles "
+                "(paper shape: scales well, near-linear)\n",
+                gc.name, growth);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  PrintShapeCheck();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Engine micro-benchmarks supporting two in-text claims:
+//
+//   - Exp-1(f): "the additional cost of checking linear arithmetic
+//     expressions is negligible" — matching with literal evaluation vs
+//     pure pattern matching;
+//   - §6.2: localizability — IncDect cost tracks the d_Σ-neighborhood of
+//     the update, not |G|: a single-edge update is detected in
+//     microseconds on graphs 8x apart in size.
+
+#include "bench_common.h"
+
+namespace {
+
+using ngd::bench::CachedWorkload;
+using ngd::bench::RegisterTimed;
+using ngd::bench::TimingStore;
+using ngd::bench::Workload;
+using ngd::bench::WorkloadSpec;
+
+WorkloadSpec Spec(size_t nodes, size_t edges, double violation_rate) {
+  WorkloadSpec spec;
+  spec.graph_config = ngd::SyntheticConfig(nodes, edges);
+  spec.num_rules = 10;
+  spec.max_diameter = 3;
+  spec.violation_rate = violation_rate;
+  return spec;
+}
+
+// Pure matching: same patterns, no literals.
+double RunPatternOnly(Workload& w) {
+  ngd::WallTimer t;
+  size_t matches = 0;
+  for (const auto& ngd : w.sigma.ngds()) {
+    ngd::SearchConfig cfg;
+    cfg.graph = w.graph.get();
+    cfg.pattern = &ngd.pattern();
+    cfg.find_violations = false;
+    ngd::RunBatchSearch(cfg, [&](const ngd::Binding&) {
+      ++matches;
+      return true;
+    });
+  }
+  ::benchmark::DoNotOptimize(matches);
+  return t.ElapsedSeconds();
+}
+
+void RegisterAll() {
+  // (1) Literal-evaluation overhead.
+  RegisterTimed("Micro/match_only", []() {
+    Workload& w = CachedWorkload("m", Spec(10000, 20000, 0.15));
+    return RunPatternOnly(w);
+  });
+  RegisterTimed("Micro/match_plus_literals", []() {
+    Workload& w = CachedWorkload("m", Spec(10000, 20000, 0.15));
+    return ngd::bench::RunDect(w);
+  });
+
+  // (2) Localizability: one unit update on small vs large graph.
+  for (auto [name, nodes, edges] :
+       {std::tuple<const char*, size_t, size_t>{"small_10k", 10000, 20000},
+        std::tuple<const char*, size_t, size_t>{"large_80k", 80000,
+                                                160000}}) {
+    std::string key = std::string("loc_") + name;
+    std::string bench_name =
+        std::string("Micro/single_update_incdect/") + name;
+    size_t n = nodes, e = edges;
+    RegisterTimed(bench_name, [key, n, e]() {
+      Workload& w = CachedWorkload(key, Spec(n, e, 0.15));
+      ngd::UpdateBatch batch = ngd::bench::MakeBatch(w.graph.get(), 0.0001, 7);
+      if (batch.empty()) {
+        // Guarantee at least one unit update.
+        batch = ngd::bench::MakeBatch(w.graph.get(), 0.001, 7);
+        batch.updates.resize(1);
+      }
+      if (!ngd::ApplyUpdateBatch(w.graph.get(), &batch).ok()) std::abort();
+      double s = ngd::bench::RunIncDect(w, batch);
+      w.graph->Rollback();
+      return s;
+    });
+  }
+}
+
+void PrintShapeCheck() {
+  TimingStore& store = TimingStore::Instance();
+  std::printf("\n=== SHAPE CHECK (engine claims) ===\n");
+  double overhead = store.Speedup("Micro/match_only",
+                                  "Micro/match_plus_literals");
+  // Speedup(match_only, with_literals) = t_match / t_with; with-literals
+  // is typically FASTER than raw enumeration because literal pruning cuts
+  // the search space — at worst it should be within ~2x.
+  std::printf("  literal checking changes matching time by %.2fx "
+              "(paper Exp-1(f): negligible overhead; pruning often wins)\n",
+              overhead > 0 ? 1.0 / overhead : -1.0);
+  double loc = store.Speedup("Micro/single_update_incdect/large_80k",
+                             "Micro/single_update_incdect/small_10k");
+  std::printf("  single-update IncDect on 8x larger graph costs %.2fx "
+              "(localizable => near 1x, NOT 8x)\n",
+              loc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  PrintShapeCheck();
+  return 0;
+}

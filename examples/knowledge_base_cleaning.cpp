@@ -1,0 +1,126 @@
+// Knowledge-base cleaning: the DBpedia/YAGO workload of the paper's
+// introduction and Exp-5, at laptop scale.
+//
+// A synthetic knowledge base is populated with the motifs the paper
+// reports errors in — entity lifespans, population sums, population
+// ranks, living-people categories, Olympic events, F1 teams — with a
+// controlled error rate. One mixed rule set (NGDs φ1–φ3 plus Exp-5's
+// NGD1–NGD3 plus one GFD-style constant binding) catches them all, and
+// the report breaks down which errors needed arithmetic/comparison
+// (beyond GFDs) to catch — the paper's "92% beyond GFDs" observation.
+//
+// Run: ./knowledge_base_cleaning [error_rate]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/parser.h"
+#include "detect/dect.h"
+#include "graph/error_injector.h"
+
+namespace {
+
+constexpr const char* kRules = R"(
+ngd lifespan {   # φ1: destroyed at least 100 days after creation
+  match (x:org)-[wasCreatedOnDate]->(y:date),
+        (x)-[wasDestroyedOnDate]->(z:date)
+  then z.val - y.val >= 100
+}
+ngd population_sum {   # φ2
+  match (x:area)-[femalePopulation]->(y:integer),
+        (x)-[malePopulation]->(z:integer),
+        (x)-[populationTotal]->(w:integer)
+  then y.val + z.val = w.val
+}
+ngd population_rank {   # φ3
+  match (x:place)-[partof]->(z:place), (y:place)-[partof]->(z:place),
+        (x)-[population]->(m1:integer), (y)-[population]->(m2:integer),
+        (x)-[populationRank]->(n1:integer), (y)-[populationRank]->(n2:integer),
+        (m1)-[date]->(w:date), (m2)-[date]->(w:date)
+  where m1.val < m2.val
+  then n1.val > n2.val
+}
+ngd living_people {   # Exp-5 NGD1
+  match (x:person)-[birthYear]->(y:year), (x)-[category]->(z:category)
+  where y.val < 1800
+  then z.val != "living people"
+}
+ngd olympic_nations {   # Exp-5 NGD2
+  match (x:competition)-[nations]->(z:integer),
+        (x)-[competitors]->(y:integer)
+  where x.type = "Olympic"
+  then z.val <= y.val
+}
+ngd f1_wins {   # Exp-5 NGD3
+  match (w1:driver)-[team]->(x:team), (w2:driver)-[team]->(x:team),
+        (x)-[year]->(y:year), (w1)-[year]->(y), (w2)-[year]->(y)
+  then x.numberOfWins >= w1.numberOfWins + w2.numberOfWins
+}
+ngd capital_kind {   # GFD-expressible control rule
+  match (x:capital)-[locatedIn]->(y:country)
+  then x.kind = "capital-city"
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ngd;
+  double error_rate = argc > 1 ? std::atof(argv[1]) : 0.08;
+
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  ErrorInjector injector(&g, /*seed=*/2018);
+  struct Planted {
+    const char* what;
+    MotifStats stats;
+  };
+  Planted planted[] = {
+      {"entity lifespans", injector.PlantLifespan(400, error_rate)},
+      {"population sums", injector.PlantPopulation(400, error_rate)},
+      {"population ranks", injector.PlantPopulationRank(300, error_rate)},
+      {"living people", injector.PlantLivingPeople(300, error_rate)},
+      {"olympic events", injector.PlantOlympicNations(300, error_rate)},
+      {"F1 seasons", injector.PlantF1Wins(200, error_rate)},
+      {"capital kinds", injector.PlantConstantBinding(300, error_rate)},
+  };
+  std::printf("knowledge base: %zu nodes, %zu edges\n", g.NumNodes(),
+              g.NumEdges(GraphView::kNew));
+  size_t total_planted = 0;
+  for (const auto& p : planted) {
+    std::printf("  %-18s %4zu instances, %3zu erroneous\n", p.what,
+                p.stats.instances, p.stats.errors);
+    total_planted += p.stats.errors;
+  }
+
+  auto rules = ParseNgds(kRules, schema);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 rules.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("rule set: %zu NGDs (d_Sigma = %d)\n", rules->size(),
+              rules->MaxDiameter());
+
+  VioSet vio = Dect(g, *rules);
+  std::printf("\nviolations caught: %zu (planted: %zu)\n", vio.size(),
+              total_planted);
+
+  // Which needed more than GFDs?
+  size_t beyond_gfd = 0;
+  std::vector<size_t> per_rule(rules->size(), 0);
+  for (const auto& v : vio.items()) {
+    ++per_rule[v.ngd_index];
+    if (!(*rules)[v.ngd_index].IsGfd()) ++beyond_gfd;
+  }
+  for (size_t f = 0; f < rules->size(); ++f) {
+    std::printf("  %-18s %4zu caught  [%s]\n", (*rules)[f].name().c_str(),
+                per_rule[f],
+                (*rules)[f].IsGfd() ? "GFD fragment"
+                                    : "needs NGD arithmetic/comparison");
+  }
+  std::printf("%.0f%% of caught errors are beyond GFDs (paper: 92%%)\n",
+              100.0 * static_cast<double>(beyond_gfd) /
+                  static_cast<double>(vio.size() ? vio.size() : 1));
+  return 0;
+}

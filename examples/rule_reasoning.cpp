@@ -1,0 +1,95 @@
+// Rule reasoning: the paper's §4 analyses on Example 5, as a user would
+// run them before deploying a rule set.
+//
+//   - satisfiability: are the rules consistent with each other?
+//   - strong satisfiability: can every rule's pattern coexist?
+//   - implication: is a candidate rule redundant given Σ?
+//   - the undecidability guard: non-linear rules are rejected outright.
+//
+// Run: ./rule_reasoning
+
+#include <cstdio>
+
+#include "core/parser.h"
+#include "reason/implication.h"
+#include "reason/satisfiability.h"
+
+namespace {
+
+const char* DecisionName(ngd::Decision d) {
+  switch (d) {
+    case ngd::Decision::kYes:
+      return "YES";
+    case ngd::Decision::kNo:
+      return "NO";
+    case ngd::Decision::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ngd;
+  SchemaPtr schema = Schema::Create();
+
+  // ---- Example 5: φ5 and φ6 conflict on a shared wildcard pattern. ----
+  auto conflicting = ParseNgds(R"(
+    ngd phi5 { match (x:_) then x.A = 7, x.B = 7 }
+    ngd phi6 { match (x:_) then x.A + x.B = 11 }
+  )",
+                               schema);
+  auto r1 = CheckSatisfiability(*conflicting, schema);
+  std::printf("{phi5, phi6} satisfiable?          %s  (%s)\n",
+              DecisionName(r1.satisfiable), r1.detail.c_str());
+
+  // Re-labelling φ6's pattern to 'a' restores satisfiability (a model
+  // labelled 'b' dodges it) but NOT strong satisfiability.
+  auto labelled = ParseNgds(R"(
+    ngd phi5 { match (x:_) then x.A = 7, x.B = 7 }
+    ngd phi6a { match (x:a) then x.A + x.B = 11 }
+  )",
+                            schema);
+  auto r2 = CheckSatisfiability(*labelled, schema);
+  auto r3 = CheckStrongSatisfiability(*labelled, schema);
+  std::printf("{phi5, phi6'} satisfiable?         %s  (%s)\n",
+              DecisionName(r2.satisfiable), r2.detail.c_str());
+  std::printf("{phi5, phi6'} strongly sat?        %s  (%s)\n",
+              DecisionName(r3.satisfiable), r3.detail.c_str());
+
+  // φ7, φ8, φ9: comparison predicates alone already conflict.
+  auto trio = ParseNgds(R"(
+    ngd phi7 { match (x:_) where x.A <= 3 then x.B > 6 }
+    ngd phi8 { match (x:_) where x.A > 3 then x.B > 6 }
+    ngd phi9 { match (x:_) then x.B < 6, x.A != 0 }
+  )",
+                        schema);
+  auto r4 = CheckSatisfiability(*trio, schema);
+  std::printf("{phi7, phi8, phi9} satisfiable?    %s  (%s)\n",
+              DecisionName(r4.satisfiable), r4.detail.c_str());
+
+  // ---- Implication: rule-set optimization. ----
+  auto sigma = ParseNgds("ngd phi5 { match (x:_) then x.A = 7, x.B = 7 }",
+                         schema);
+  auto redundant =
+      ParseNgd("ngd sum14 { match (x:_) then x.A + x.B = 14 }", schema);
+  auto novel =
+      ParseNgd("ngd sum15 { match (x:_) then x.A + x.B = 15 }", schema);
+  auto i1 = CheckImplication(*sigma, *redundant, schema);
+  auto i2 = CheckImplication(*sigma, *novel, schema);
+  std::printf("{phi5} implies  A + B = 14?        %s  (%s)\n",
+              DecisionName(i1.implied), i1.detail.c_str());
+  std::printf("{phi5} implies  A + B = 15?        %s  (%s)\n",
+              DecisionName(i2.implied), i2.detail.c_str());
+
+  // ---- The undecidability guard (Theorem 3). ----
+  auto nonlinear = ParseNgd(
+      "ngd quad { match (x:t)-[e]->(y:t) then x.A * y.A = 100 }", schema);
+  std::printf("degree-2 rule accepted?            %s\n",
+              nonlinear.ok() ? "YES (bug!)" : "NO");
+  if (!nonlinear.ok()) {
+    std::printf("  parser says: %s\n", nonlinear.status().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Social-network audit: fake-account detection under a live update
+// stream (the paper's Twitter scenario, Example 1(4)/Example 6/7).
+//
+// A Pokec-like social graph is seeded with company accounts, some fake.
+// The φ4 rule flags accounts whose follower/following deficit against a
+// verified account exceeds a threshold while still claiming to be real.
+// The audit then consumes a stream of update batches, maintaining the
+// violation set incrementally — sequentially (IncDect) and in parallel
+// (PIncDect) — and compares against batch recomputation (Dect), printing
+// the speedups the incremental algorithms deliver.
+//
+// Run: ./social_network_audit [num_batches]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/parser.h"
+#include "detect/dect.h"
+#include "detect/inc_dect.h"
+#include "graph/error_injector.h"
+#include "graph/generators.h"
+#include "graph/updates.h"
+#include "parallel/pinc_dect.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ngd;
+  int num_batches = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  // Background social network + fake-account motifs.
+  SchemaPtr schema = Schema::Create();
+  GraphGenConfig cfg = PokecLikeConfig(/*scale=*/0.002, /*seed=*/99);
+  auto g = GenerateGraph(cfg, schema);
+  ErrorInjector injector(g.get(), 7);
+  MotifStats accounts = injector.PlantFakeAccounts(500, 0.06);
+  std::printf("social graph: %zu nodes, %zu edges; %zu company-account "
+              "pairs planted (%zu fake)\n",
+              g->NumNodes(), g->NumEdges(GraphView::kNew),
+              accounts.instances, accounts.errors);
+
+  auto rules = ParseNgds(R"(
+    ngd fake_account {   # φ4 with a = b = 1, c = 10000
+      match (x:account)-[keys]->(w:company), (y:account)-[keys]->(w:company),
+            (x)-[following]->(m1:integer), (y)-[following]->(m2:integer),
+            (x)-[follower]->(n1:integer), (y)-[follower]->(n2:integer),
+            (x)-[status]->(s1:boolean), (y)-[status]->(s2:boolean)
+      where s1.val = 1,
+            1 * (m1.val - m2.val) + 1 * (n1.val - n2.val) > 10000
+      then s2.val = 0
+    }
+  )",
+                         schema);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 rules.status().ToString().c_str());
+    return 1;
+  }
+
+  WallTimer timer;
+  VioSet vio = Dect(*g, *rules);
+  std::printf("initial batch detection: %zu fake accounts in %.1f ms\n\n",
+              vio.size(), timer.ElapsedMillis());
+
+  for (int round = 0; round < num_batches; ++round) {
+    UpdateGenOptions up;
+    up.fraction = 0.02;
+    up.seed = 1000 + static_cast<uint64_t>(round);
+    UpdateBatch batch = GenerateUpdateBatch(g.get(), up);
+    if (!ApplyUpdateBatch(g.get(), &batch).ok()) return 1;
+    std::printf("batch %d: %zu insertions, %zu deletions\n", round,
+                batch.NumInsertions(), batch.NumDeletions());
+
+    timer.Restart();
+    auto delta = IncDect(*g, *rules, batch);
+    double inc_ms = timer.ElapsedMillis();
+    if (!delta.ok()) {
+      std::fprintf(stderr, "IncDect: %s\n", delta.status().ToString().c_str());
+      return 1;
+    }
+
+    PIncDectOptions popts;
+    popts.num_processors = 2;  // match this host; benches sweep p
+    timer.Restart();
+    auto pdelta = PIncDect(*g, *rules, batch, popts);
+    double pinc_ms = timer.ElapsedMillis();
+    if (!pdelta.ok()) return 1;
+
+    timer.Restart();
+    VioSet recomputed = Dect(*g, *rules);
+    double batch_ms = timer.ElapsedMillis();
+
+    vio = ApplyDelta(vio, *delta);
+    g->Commit();
+
+    std::printf(
+        "  ΔVio: +%zu / -%zu  (now %zu fake)  IncDect %.1f ms | "
+        "PIncDect(4) %.1f ms | batch Dect %.1f ms  -> incremental is "
+        "%.1fx faster\n",
+        delta->added.size(), delta->removed.size(), vio.size(), inc_ms,
+        pinc_ms, batch_ms, batch_ms / (inc_ms > 0.01 ? inc_ms : 0.01));
+    if (recomputed.size() != vio.size()) {
+      std::fprintf(stderr, "  CONSISTENCY FAILURE: %zu vs %zu\n",
+                   recomputed.size(), vio.size());
+      return 1;
+    }
+  }
+  std::printf("\nfinal audit: %zu accounts flagged fake\n", vio.size());
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "core/ngd.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ngd {
+
+Status Ngd::Validate() const {
+  if (pattern_.NumNodes() == 0) {
+    return Status::InvalidArgument("NGD '" + name_ + "': empty pattern");
+  }
+  std::unordered_set<std::string> vars;
+  for (const auto& n : pattern_.nodes()) {
+    if (n.var.empty()) {
+      return Status::InvalidArgument("NGD '" + name_ +
+                                     "': unnamed pattern node");
+    }
+    if (!vars.insert(n.var).second) {
+      return Status::InvalidArgument("NGD '" + name_ +
+                                     "': duplicate variable " + n.var);
+    }
+  }
+  auto check_literals = [&](const std::vector<Literal>& lits,
+                            const char* side) -> Status {
+    for (const Literal& l : lits) {
+      std::vector<int> used;
+      l.CollectVars(&used);
+      for (int v : used) {
+        if (v < 0 || static_cast<size_t>(v) >= pattern_.NumNodes()) {
+          return Status::InvalidArgument(
+              "NGD '" + name_ + "': literal in " + side +
+              " references variable index " + std::to_string(v) +
+              " outside the pattern");
+        }
+      }
+      if (!l.IsLinear()) {
+        return Status::InvalidArgument(
+            "NGD '" + name_ + "': non-linear expression in " + side +
+            " (degree " + std::to_string(l.Degree()) +
+            "); NGDs admit linear arithmetic only — satisfiability and "
+            "implication are undecidable beyond degree 1 (Theorem 3)");
+      }
+    }
+    return Status::OK();
+  };
+  NGD_RETURN_IF_ERROR(check_literals(x_, "X"));
+  NGD_RETURN_IF_ERROR(check_literals(y_, "Y"));
+  return Status::OK();
+}
+
+bool Ngd::IsGfd() const {
+  auto all_gfd = [](const std::vector<Literal>& lits) {
+    return std::all_of(lits.begin(), lits.end(),
+                       [](const Literal& l) { return l.IsGfdLiteral(); });
+  };
+  return all_gfd(x_) && all_gfd(y_);
+}
+
+namespace {
+
+bool ExprUsesArithmetic(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::kIntConst:
+    case Expr::Kind::kStrConst:
+    case Expr::Kind::kVarAttr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+bool Ngd::UsesArithmetic() const {
+  auto any = [](const std::vector<Literal>& lits) {
+    return std::any_of(lits.begin(), lits.end(), [](const Literal& l) {
+      return ExprUsesArithmetic(l.lhs()) || ExprUsesArithmetic(l.rhs());
+    });
+  };
+  return any(x_) || any(y_);
+}
+
+bool Ngd::UsesComparison() const {
+  auto any = [](const std::vector<Literal>& lits) {
+    return std::any_of(lits.begin(), lits.end(), [](const Literal& l) {
+      return l.op() != CmpOp::kEq;
+    });
+  };
+  return any(x_) || any(y_);
+}
+
+std::string Ngd::ToString(const Dictionary& label_dict,
+                          const Dictionary& attr_dict) const {
+  std::string out = "ngd " + name_ + " {\n  match ";
+  out += pattern_.ToString(label_dict);
+  const auto var_names = pattern_.VarNames();
+  out += "\n  where ";
+  if (x_.empty()) {
+    out += "true";
+  } else {
+    for (size_t i = 0; i < x_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += x_[i].ToString(var_names, attr_dict);
+    }
+  }
+  out += "\n  then ";
+  for (size_t i = 0; i < y_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += y_[i].ToString(var_names, attr_dict);
+  }
+  out += "\n}";
+  return out;
+}
+
+int NgdSet::MaxDiameter() const {
+  int d = 0;
+  for (const auto& ngd : ngds_) {
+    d = std::max(d, ngd.pattern().Diameter());
+  }
+  return d;
+}
+
+Status NgdSet::Validate() const {
+  for (const auto& ngd : ngds_) {
+    NGD_RETURN_IF_ERROR(ngd.Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace ngd

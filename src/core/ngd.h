@@ -1,0 +1,91 @@
+// Numeric graph dependencies φ = Q[x̄](X → Y) (paper §3).
+//
+// An NGD combines a topological constraint Q (matched by homomorphism)
+// with an attribute dependency X → Y over linear-arithmetic literals. A
+// match h(x̄) of Q VIOLATES φ when h(x̄) |= X but h(x̄) ̸|= Y.
+//
+// GFDs are the special case where every literal has the form x.A = c or
+// x.A = y.B; NGDs therefore catch everything GFDs/CFDs catch plus numeric
+// inconsistencies. Validate() enforces the linear fragment — Theorem 3
+// shows degree-2 expressions make static analyses undecidable.
+
+#ifndef NGD_CORE_NGD_H_
+#define NGD_CORE_NGD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/literal.h"
+#include "core/pattern.h"
+
+namespace ngd {
+
+class Ngd {
+ public:
+  Ngd() = default;
+  Ngd(std::string name, Pattern pattern, std::vector<Literal> x,
+      std::vector<Literal> y)
+      : name_(std::move(name)),
+        pattern_(std::move(pattern)),
+        x_(std::move(x)),
+        y_(std::move(y)) {}
+
+  const std::string& name() const { return name_; }
+  const Pattern& pattern() const { return pattern_; }
+  const std::vector<Literal>& X() const { return x_; }
+  const std::vector<Literal>& Y() const { return y_; }
+
+  /// Structural well-formedness + the NGD fragment:
+  ///  - pattern non-empty, variables distinct;
+  ///  - every literal variable index refers to a pattern node;
+  ///  - every expression is LINEAR with constant divisors
+  ///    (otherwise: InvalidArgument citing Theorem 3 undecidability).
+  Status Validate() const;
+
+  /// True iff φ lies in the GFD fragment of [23, 24]: only equalities
+  /// between bare terms.
+  bool IsGfd() const;
+
+  /// True iff any literal uses arithmetic (+,-,*,/,abs) — the capability
+  /// axis separating NGDs from GFDs in Exp-5.
+  bool UsesArithmetic() const;
+
+  /// True iff any literal uses a comparison other than '='.
+  bool UsesComparison() const;
+
+  std::string ToString(const Dictionary& label_dict,
+                       const Dictionary& attr_dict) const;
+
+ private:
+  std::string name_;
+  Pattern pattern_;
+  std::vector<Literal> x_;
+  std::vector<Literal> y_;
+};
+
+/// A rule set Σ.
+class NgdSet {
+ public:
+  NgdSet() = default;
+  explicit NgdSet(std::vector<Ngd> ngds) : ngds_(std::move(ngds)) {}
+
+  void Add(Ngd ngd) { ngds_.push_back(std::move(ngd)); }
+  size_t size() const { return ngds_.size(); }
+  bool empty() const { return ngds_.empty(); }
+  const Ngd& operator[](size_t i) const { return ngds_[i]; }
+  const std::vector<Ngd>& ngds() const { return ngds_; }
+  std::vector<Ngd>& ngds() { return ngds_; }
+
+  /// d_Σ: max pattern diameter over the set (paper §6.1); localizable
+  /// incremental detection explores d_Σ-neighborhoods of ΔG only.
+  int MaxDiameter() const;
+
+  Status Validate() const;
+
+ private:
+  std::vector<Ngd> ngds_;
+};
+
+}  // namespace ngd
+
+#endif  // NGD_CORE_NGD_H_

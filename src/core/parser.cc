@@ -1,0 +1,426 @@
+#include "core/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace ngd {
+
+namespace {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kInt,
+  kString,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kDot,
+  kArrow,  // ->
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEq,  // = or ==
+  kNe,  // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int64_t int_value = 0;
+  size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' || (c == '/' && Peek(1) == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back(
+            {Tok::kIdent, std::string(src_.substr(start, pos_ - start)), 0,
+             line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+        Token t{Tok::kInt, std::string(src_.substr(start, pos_ - start)), 0,
+                line_};
+        t.int_value = std::stoll(t.text);
+        tokens.push_back(t);
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < src_.size() && src_[pos_] != '"') ++pos_;
+        if (pos_ >= src_.size()) {
+          return Status::InvalidArgument("line " + std::to_string(line_) +
+                                         ": unterminated string");
+        }
+        tokens.push_back(
+            {Tok::kString, std::string(src_.substr(start, pos_ - start)), 0,
+             line_});
+        ++pos_;
+        continue;
+      }
+      auto two = [&](char a, char b) {
+        return c == a && Peek(1) == b;
+      };
+      if (two('-', '>')) {
+        tokens.push_back({Tok::kArrow, "->", 0, line_});
+        pos_ += 2;
+        continue;
+      }
+      if (two('!', '=') || two('<', '>')) {
+        tokens.push_back({Tok::kNe, "!=", 0, line_});
+        pos_ += 2;
+        continue;
+      }
+      if (two('<', '=')) {
+        tokens.push_back({Tok::kLe, "<=", 0, line_});
+        pos_ += 2;
+        continue;
+      }
+      if (two('>', '=')) {
+        tokens.push_back({Tok::kGe, ">=", 0, line_});
+        pos_ += 2;
+        continue;
+      }
+      if (two('=', '=')) {
+        tokens.push_back({Tok::kEq, "==", 0, line_});
+        pos_ += 2;
+        continue;
+      }
+      Tok kind;
+      switch (c) {
+        case '(': kind = Tok::kLParen; break;
+        case ')': kind = Tok::kRParen; break;
+        case '{': kind = Tok::kLBrace; break;
+        case '}': kind = Tok::kRBrace; break;
+        case '[': kind = Tok::kLBracket; break;
+        case ']': kind = Tok::kRBracket; break;
+        case ',': kind = Tok::kComma; break;
+        case ':': kind = Tok::kColon; break;
+        case '.': kind = Tok::kDot; break;
+        case '+': kind = Tok::kPlus; break;
+        case '-': kind = Tok::kMinus; break;
+        case '*': kind = Tok::kStar; break;
+        case '/': kind = Tok::kSlash; break;
+        case '=': kind = Tok::kEq; break;
+        case '<': kind = Tok::kLt; break;
+        case '>': kind = Tok::kGt; break;
+        default:
+          return Status::InvalidArgument("line " + std::to_string(line_) +
+                                         ": unexpected character '" +
+                                         std::string(1, c) + "'");
+      }
+      tokens.push_back({kind, std::string(1, c), 0, line_});
+      ++pos_;
+    }
+    tokens.push_back({Tok::kEof, "", 0, line_});
+    return tokens;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SchemaPtr schema)
+      : tokens_(std::move(tokens)), schema_(std::move(schema)) {}
+
+  StatusOr<NgdSet> ParseFile() {
+    NgdSet set;
+    while (Cur().kind != Tok::kEof) {
+      NGD_ASSIGN_OR_RETURN(Ngd ngd, ParseOne());
+      set.Add(std::move(ngd));
+    }
+    return set;
+  }
+
+  StatusOr<Ngd> ParseOne() {
+    NGD_RETURN_IF_ERROR(ExpectIdent("ngd"));
+    if (Cur().kind != Tok::kIdent) return Err("expected NGD name");
+    std::string name = Cur().text;
+    Advance();
+    NGD_RETURN_IF_ERROR(Expect(Tok::kLBrace, "{"));
+    NGD_RETURN_IF_ERROR(ExpectIdent("match"));
+
+    pattern_ = Pattern();
+    NGD_RETURN_IF_ERROR(ParseElement());
+    while (Cur().kind == Tok::kComma) {
+      Advance();
+      NGD_RETURN_IF_ERROR(ParseElement());
+    }
+
+    std::vector<Literal> x;
+    if (Cur().kind == Tok::kIdent && Cur().text == "where") {
+      Advance();
+      if (Cur().kind == Tok::kIdent && Cur().text == "true") {
+        Advance();
+      } else {
+        NGD_ASSIGN_OR_RETURN(x, ParseLiteralList());
+      }
+    }
+    NGD_RETURN_IF_ERROR(ExpectIdent("then"));
+    NGD_ASSIGN_OR_RETURN(std::vector<Literal> y, ParseLiteralList());
+    NGD_RETURN_IF_ERROR(Expect(Tok::kRBrace, "}"));
+
+    Ngd ngd(std::move(name), std::move(pattern_), std::move(x), std::move(y));
+    NGD_RETURN_IF_ERROR(ngd.Validate());
+    return ngd;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[index_]; }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("line " + std::to_string(Cur().line) +
+                                   ": " + msg + " (got '" + Cur().text +
+                                   "')");
+  }
+
+  Status Expect(Tok kind, const char* what) {
+    if (Cur().kind != kind) return Err(std::string("expected '") + what + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectIdent(const std::string& word) {
+    if (Cur().kind != Tok::kIdent || Cur().text != word) {
+      return Err("expected '" + word + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  /// label := IDENT | STRING | '_'
+  StatusOr<LabelId> ParseLabel() {
+    if (Cur().kind != Tok::kIdent && Cur().kind != Tok::kString) {
+      return Err("expected label");
+    }
+    std::string text = Cur().text;
+    Advance();
+    if (text == "_") return kWildcardLabel;
+    return schema_->InternLabel(text);
+  }
+
+  /// node := '(' IDENT [':' label] ')'; returns the pattern node index.
+  StatusOr<int> ParseNode() {
+    NGD_RETURN_IF_ERROR(Expect(Tok::kLParen, "("));
+    if (Cur().kind != Tok::kIdent) return Err("expected variable name");
+    std::string var = Cur().text;
+    Advance();
+    std::optional<LabelId> label;
+    if (Cur().kind == Tok::kColon) {
+      Advance();
+      NGD_ASSIGN_OR_RETURN(LabelId l, ParseLabel());
+      label = l;
+    }
+    NGD_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+
+    int idx = pattern_.FindVar(var);
+    if (idx < 0) {
+      idx = pattern_.AddNode(var, label.value_or(kWildcardLabel));
+    } else if (label.has_value()) {
+      LabelId existing = pattern_.nodes()[idx].label;
+      if (existing == kWildcardLabel && *label != kWildcardLabel) {
+        // Refine a wildcard introduced by an earlier bare mention.
+        pattern_.SetNodeLabel(idx, *label);
+      } else if (existing != *label) {
+        return Err("variable '" + var + "' relabelled inconsistently");
+      }
+    }
+    return idx;
+  }
+
+  /// element := node | node '-[' label ']->' node
+  Status ParseElement() {
+    NGD_ASSIGN_OR_RETURN(int src, ParseNode());
+    if (Cur().kind != Tok::kMinus) return Status::OK();  // isolated node
+    Advance();
+    NGD_RETURN_IF_ERROR(Expect(Tok::kLBracket, "["));
+    NGD_ASSIGN_OR_RETURN(LabelId label, ParseLabel());
+    NGD_RETURN_IF_ERROR(Expect(Tok::kRBracket, "]"));
+    NGD_RETURN_IF_ERROR(Expect(Tok::kArrow, "->"));
+    NGD_ASSIGN_OR_RETURN(int dst, ParseNode());
+    if (label == kWildcardLabel) {
+      return Err("edge labels cannot be the wildcard '_'");
+    }
+    return pattern_.AddEdge(src, dst, label);
+  }
+
+  StatusOr<std::vector<Literal>> ParseLiteralList() {
+    std::vector<Literal> lits;
+    NGD_ASSIGN_OR_RETURN(Literal first, ParseLiteral());
+    lits.push_back(std::move(first));
+    while (Cur().kind == Tok::kComma) {
+      Advance();
+      NGD_ASSIGN_OR_RETURN(Literal next, ParseLiteral());
+      lits.push_back(std::move(next));
+    }
+    return lits;
+  }
+
+  StatusOr<Literal> ParseLiteral() {
+    NGD_ASSIGN_OR_RETURN(Expr lhs, ParseExpr());
+    CmpOp op;
+    switch (Cur().kind) {
+      case Tok::kEq: op = CmpOp::kEq; break;
+      case Tok::kNe: op = CmpOp::kNe; break;
+      case Tok::kLt: op = CmpOp::kLt; break;
+      case Tok::kLe: op = CmpOp::kLe; break;
+      case Tok::kGt: op = CmpOp::kGt; break;
+      case Tok::kGe: op = CmpOp::kGe; break;
+      default:
+        return Err("expected comparison operator");
+    }
+    Advance();
+    NGD_ASSIGN_OR_RETURN(Expr rhs, ParseExpr());
+    return Literal(std::move(lhs), op, std::move(rhs));
+  }
+
+  StatusOr<Expr> ParseExpr() {
+    NGD_ASSIGN_OR_RETURN(Expr e, ParseTerm());
+    while (Cur().kind == Tok::kPlus || Cur().kind == Tok::kMinus) {
+      bool plus = Cur().kind == Tok::kPlus;
+      Advance();
+      NGD_ASSIGN_OR_RETURN(Expr r, ParseTerm());
+      e = plus ? Expr::Add(std::move(e), std::move(r))
+               : Expr::Sub(std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  StatusOr<Expr> ParseTerm() {
+    NGD_ASSIGN_OR_RETURN(Expr e, ParseUnary());
+    while (Cur().kind == Tok::kStar || Cur().kind == Tok::kSlash) {
+      bool mul = Cur().kind == Tok::kStar;
+      Advance();
+      NGD_ASSIGN_OR_RETURN(Expr r, ParseUnary());
+      e = mul ? Expr::Mul(std::move(e), std::move(r))
+              : Expr::Div(std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  StatusOr<Expr> ParseUnary() {
+    if (Cur().kind == Tok::kMinus) {
+      Advance();
+      NGD_ASSIGN_OR_RETURN(Expr e, ParseUnary());
+      return Expr::Neg(std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<Expr> ParsePrimary() {
+    if (Cur().kind == Tok::kInt) {
+      int64_t v = Cur().int_value;
+      Advance();
+      return Expr::IntConst(v);
+    }
+    if (Cur().kind == Tok::kString) {
+      std::string s = Cur().text;
+      Advance();
+      return Expr::StrConst(std::move(s));
+    }
+    if (Cur().kind == Tok::kLParen) {
+      Advance();
+      NGD_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+      NGD_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+      return e;
+    }
+    if (Cur().kind == Tok::kIdent) {
+      if (Cur().text == "abs") {
+        Advance();
+        NGD_RETURN_IF_ERROR(Expect(Tok::kLParen, "("));
+        NGD_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+        NGD_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+        return Expr::Abs(std::move(e));
+      }
+      std::string var = Cur().text;
+      Advance();
+      NGD_RETURN_IF_ERROR(Expect(Tok::kDot, "."));
+      if (Cur().kind != Tok::kIdent) return Err("expected attribute name");
+      std::string attr = Cur().text;
+      Advance();
+      int idx = pattern_.FindVar(var);
+      if (idx < 0) {
+        return Err("unknown pattern variable '" + var + "'");
+      }
+      return Expr::Var(idx, schema_->InternAttr(attr));
+    }
+    return Err("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+  SchemaPtr schema_;
+  Pattern pattern_;
+};
+
+}  // namespace
+
+StatusOr<NgdSet> ParseNgds(std::string_view text, const SchemaPtr& schema) {
+  Lexer lexer(text);
+  NGD_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), schema);
+  return parser.ParseFile();
+}
+
+StatusOr<Ngd> ParseNgd(std::string_view text, const SchemaPtr& schema) {
+  Lexer lexer(text);
+  NGD_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), schema);
+  return parser.ParseOne();
+}
+
+}  // namespace ngd

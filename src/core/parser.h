@@ -1,0 +1,52 @@
+// Text DSL for NGDs.
+//
+// Example (φ2 from the paper, Fig 2 / Example 3):
+//
+//   # total population must equal female + male
+//   ngd population_sum {
+//     match (x:area), (x)-[femalePopulation]->(y:integer),
+//           (x)-[malePopulation]->(z:integer),
+//           (x)-[populationTotal]->(w:integer)
+//     then y.val + z.val = w.val
+//   }
+//
+// Grammar (EBNF, '#'/'//' comments to end of line):
+//   file     := ngd*
+//   ngd      := 'ngd' IDENT '{' 'match' element (',' element)*
+//               ['where' ('true' | literals)] 'then' literals '}'
+//   element  := node | node '-[' label ']->' node
+//   node     := '(' IDENT [':' label] ')'
+//   label    := IDENT | STRING | '_'
+//   literals := literal (',' literal)*
+//   literal  := expr cmp expr
+//   cmp      := '=' | '==' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//   expr     := term (('+'|'-') term)*
+//   term     := unary (('*'|'/') unary)*
+//   unary    := '-' unary | primary
+//   primary  := INT | STRING | 'abs' '(' expr ')' | IDENT '.' IDENT
+//               | '(' expr ')'
+//
+// A node's label may be given at any mention; conflicting labels are an
+// error. Unlabeled nodes default to the wildcard '_'. Parsed NGDs are
+// validated (linearity, variable scoping) before being returned.
+
+#ifndef NGD_CORE_PARSER_H_
+#define NGD_CORE_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/ngd.h"
+#include "util/status.h"
+
+namespace ngd {
+
+/// Parses all `ngd` blocks in `text`, interning labels/attrs into `schema`.
+StatusOr<NgdSet> ParseNgds(std::string_view text, const SchemaPtr& schema);
+
+/// Parses exactly one NGD.
+StatusOr<Ngd> ParseNgd(std::string_view text, const SchemaPtr& schema);
+
+}  // namespace ngd
+
+#endif  // NGD_CORE_PARSER_H_

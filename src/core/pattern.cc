@@ -1,0 +1,122 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace ngd {
+
+int Pattern::AddNode(std::string var, LabelId label) {
+  adj_built_ = false;
+  nodes_.push_back(PatternNode{std::move(var), label});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Status Pattern::AddEdge(int src, int dst, LabelId label) {
+  if (src < 0 || dst < 0 || static_cast<size_t>(src) >= nodes_.size() ||
+      static_cast<size_t>(dst) >= nodes_.size()) {
+    return Status::InvalidArgument("pattern edge endpoint out of range");
+  }
+  for (const auto& e : edges_) {
+    if (e.src == src && e.dst == dst && e.label == label) {
+      return Status::AlreadyExists("duplicate pattern edge");
+    }
+  }
+  adj_built_ = false;
+  edges_.push_back(PatternEdge{src, dst, label});
+  return Status::OK();
+}
+
+int Pattern::FindVar(std::string_view var) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].var == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const std::vector<std::string> Pattern::VarNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& n : nodes_) names.push_back(n.var);
+  return names;
+}
+
+void Pattern::BuildAdjacency() const {
+  adj_.assign(nodes_.size(), {});
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const PatternEdge& e = edges_[i];
+    adj_[e.src].push_back({e.dst, static_cast<int>(i), true});
+    adj_[e.dst].push_back({e.src, static_cast<int>(i), false});
+  }
+  adj_built_ = true;
+}
+
+const std::vector<PatternAdj>& Pattern::Adjacency(int i) const {
+  if (!adj_built_) BuildAdjacency();
+  return adj_[i];
+}
+
+bool Pattern::IsConnected() const {
+  if (nodes_.empty()) return false;
+  if (!adj_built_) BuildAdjacency();
+  std::vector<char> seen(nodes_.size(), 0);
+  std::queue<int> q;
+  q.push(0);
+  seen[0] = 1;
+  size_t visited = 1;
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (const auto& a : adj_[v]) {
+      if (!seen[a.other]) {
+        seen[a.other] = 1;
+        ++visited;
+        q.push(a.other);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+int Pattern::Diameter() const {
+  if (nodes_.empty()) return -1;
+  if (!adj_built_) BuildAdjacency();
+  int diameter = 0;
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    std::vector<int> dist(nodes_.size(), -1);
+    std::queue<int> q;
+    q.push(static_cast<int>(s));
+    dist[s] = 0;
+    size_t visited = 1;
+    while (!q.empty()) {
+      int v = q.front();
+      q.pop();
+      for (const auto& a : adj_[v]) {
+        if (dist[a.other] < 0) {
+          dist[a.other] = dist[v] + 1;
+          diameter = std::max(diameter, dist[a.other]);
+          ++visited;
+          q.push(a.other);
+        }
+      }
+    }
+    if (visited != nodes_.size()) return -1;  // disconnected
+  }
+  return diameter;
+}
+
+std::string Pattern::ToString(const Dictionary& label_dict) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "(" << nodes_[i].var << ":" << label_dict.NameOf(nodes_[i].label)
+       << ")";
+  }
+  for (const auto& e : edges_) {
+    os << ", (" << nodes_[e.src].var << ")-[" << label_dict.NameOf(e.label)
+       << "]->(" << nodes_[e.dst].var << ")";
+  }
+  return os.str();
+}
+
+}  // namespace ngd

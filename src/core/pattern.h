@@ -1,0 +1,87 @@
+// Graph patterns Q[x̄] (paper §2).
+//
+// A pattern is a small directed graph whose nodes are bijectively named by
+// variables x̄; node labels may be the wildcard '_' which matches any node
+// label. Matching semantics is graph HOMOMORPHISM (following GEDs [23]):
+// distinct pattern nodes may map to the same graph node, labels must agree
+// (wildcard excepted), and every pattern edge must map onto a graph edge
+// with the same label.
+
+#ifndef NGD_CORE_PATTERN_H_
+#define NGD_CORE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ngd {
+
+struct PatternNode {
+  std::string var;
+  LabelId label;  // kWildcardLabel for '_'
+};
+
+struct PatternEdge {
+  int src;  // pattern-node index
+  int dst;
+  LabelId label;
+};
+
+/// Undirected adjacency record used by matching-order selection and
+/// update-driven expansion.
+struct PatternAdj {
+  int other;       ///< neighbouring pattern node
+  int edge_index;  ///< index into edges()
+  bool out;        ///< true: this -> other, false: other -> this
+};
+
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Adds a node; `var` must be distinct from existing variables.
+  int AddNode(std::string var, LabelId label);
+
+  /// Adds a directed labelled edge between pattern node indices.
+  Status AddEdge(int src, int dst, LabelId label);
+
+  /// Replaces node i's label (the parser uses this to refine a wildcard
+  /// once a later mention supplies the concrete label).
+  void SetNodeLabel(int i, LabelId label) { nodes_[i].label = label; }
+
+  int FindVar(std::string_view var) const;  // -1 if absent
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+  const std::vector<PatternNode>& nodes() const { return nodes_; }
+  const std::vector<PatternEdge>& edges() const { return edges_; }
+  const PatternNode& node(int i) const { return nodes_[i]; }
+  const PatternEdge& edge(int i) const { return edges_[i]; }
+
+  const std::vector<std::string> VarNames() const;
+
+  /// Undirected adjacency of pattern node i (built lazily, cached).
+  const std::vector<PatternAdj>& Adjacency(int i) const;
+
+  bool IsConnected() const;
+
+  /// d_Q: the maximum pairwise shortest-path distance treating Q as
+  /// undirected; 0 for single-node patterns. Returns -1 if disconnected.
+  int Diameter() const;
+
+  std::string ToString(const Dictionary& label_dict) const;
+
+ private:
+  void BuildAdjacency() const;
+
+  std::vector<PatternNode> nodes_;
+  std::vector<PatternEdge> edges_;
+  mutable std::vector<std::vector<PatternAdj>> adj_;  // lazy cache
+  mutable bool adj_built_ = false;
+};
+
+}  // namespace ngd
+
+#endif  // NGD_CORE_PATTERN_H_

@@ -1,0 +1,48 @@
+#include "detect/dect.h"
+
+namespace ngd {
+
+VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
+  VioSet vio;
+  for (size_t f = 0; f < sigma.size(); ++f) {
+    const Ngd& ngd = sigma[f];
+    SearchConfig cfg;
+    cfg.graph = &g;
+    cfg.pattern = &ngd.pattern();
+    cfg.x = &ngd.X();
+    cfg.y = &ngd.Y();
+    cfg.view = opts.view;
+    cfg.find_violations = true;
+    size_t found = 0;
+    RunBatchSearch(cfg, [&](const Binding& binding) {
+      vio.Add(Violation{static_cast<int>(f), binding});
+      ++found;
+      return opts.max_violations_per_ngd == 0 ||
+             found < opts.max_violations_per_ngd;
+    });
+  }
+  return vio;
+}
+
+std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
+                                          GraphView view) {
+  for (size_t f = 0; f < sigma.size(); ++f) {
+    const Ngd& ngd = sigma[f];
+    SearchConfig cfg;
+    cfg.graph = &g;
+    cfg.pattern = &ngd.pattern();
+    cfg.x = &ngd.X();
+    cfg.y = &ngd.Y();
+    cfg.view = view;
+    cfg.find_violations = true;
+    std::optional<Violation> witness;
+    RunBatchSearch(cfg, [&](const Binding& binding) {
+      witness = Violation{static_cast<int>(f), binding};
+      return false;  // stop at first violation
+    });
+    if (witness.has_value()) return witness;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ngd

@@ -1,0 +1,40 @@
+// Batch error detection with NGDs (paper §5.1).
+//
+// Dect computes Vio(Σ, G) by full homomorphism enumeration per NGD — the
+// sequential baseline extended from the GFD batch algorithm of [24].
+// Validation (G |= Σ?) is the coNP decision version: an NP witness search
+// that stops at the first violation.
+
+#ifndef NGD_DETECT_DECT_H_
+#define NGD_DETECT_DECT_H_
+
+#include <optional>
+
+#include "detect/violation.h"
+#include "match/homomorphism.h"
+
+namespace ngd {
+
+struct DectOptions {
+  GraphView view = GraphView::kNew;
+  /// Safety valve for adversarial rule sets: stop collecting per NGD after
+  /// this many violations (0 = unlimited).
+  size_t max_violations_per_ngd = 0;
+};
+
+/// Vio(Σ, G): all violations of all NGDs in Σ.
+VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts = {});
+
+/// First violation found, or nullopt if G |= Σ (early exit).
+std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
+                                          GraphView view = GraphView::kNew);
+
+/// The validation problem: G |= Σ.
+inline bool Validate(const Graph& g, const NgdSet& sigma,
+                     GraphView view = GraphView::kNew) {
+  return !FindAnyViolation(g, sigma, view).has_value();
+}
+
+}  // namespace ngd
+
+#endif  // NGD_DETECT_DECT_H_

@@ -1,0 +1,161 @@
+#include "detect/inc_dect.h"
+
+#include <algorithm>
+
+namespace ngd {
+
+UpdateIndex::UpdateIndex(const Graph& g, const UpdateBatch& batch) {
+  for (const UnitUpdate& u : batch.updates) {
+    EdgeKey key{u.src, u.dst, u.label};
+    std::optional<EdgeState> state = g.EdgeStateOf(u.src, u.dst, u.label);
+    // Only updates whose effect survives in the overlay count: an insert
+    // record must correspond to a kInserted edge, a delete record to a
+    // kDeleted edge. Anything else cancelled out within the batch.
+    if (u.kind == UpdateKind::kInsert) {
+      if (!state.has_value() || *state != EdgeState::kInserted) continue;
+      if (insert_index_.count(key) > 0) continue;  // duplicate record
+      insert_index_.emplace(key, static_cast<int>(updates_.size()));
+    } else {
+      if (!state.has_value() || *state != EdgeState::kDeleted) continue;
+      if (delete_index_.count(key) > 0) continue;
+      delete_index_.emplace(key, static_cast<int>(updates_.size()));
+    }
+    updates_.push_back(EffectiveUpdate{u.kind, key});
+  }
+}
+
+std::optional<int> UpdateIndex::IndexOf(UpdateKind kind,
+                                        const EdgeKey& key) const {
+  const auto& map =
+      kind == UpdateKind::kInsert ? insert_index_ : delete_index_;
+  auto it = map.find(key);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<PivotTask> EnumeratePivotTasks(const Graph& g,
+                                           const NgdSet& sigma,
+                                           const UpdateIndex& index) {
+  std::vector<PivotTask> tasks;
+  const auto& updates = index.updates();
+  for (size_t j = 0; j < updates.size(); ++j) {
+    const EffectiveUpdate& u = updates[j];
+    for (size_t f = 0; f < sigma.size(); ++f) {
+      const Pattern& pattern = sigma[f].pattern();
+      for (size_t p = 0; p < pattern.NumEdges(); ++p) {
+        const PatternEdge& pe = pattern.edge(static_cast<int>(p));
+        if (pe.label != u.edge.label) continue;
+        if (!NodeMatchesLabel(g, u.edge.src, pattern.node(pe.src).label)) {
+          continue;
+        }
+        if (!NodeMatchesLabel(g, u.edge.dst, pattern.node(pe.dst).label)) {
+          continue;
+        }
+        // A self-loop pattern edge can only match a self-loop graph edge.
+        if (pe.src == pe.dst && u.edge.src != u.edge.dst) continue;
+        tasks.push_back(PivotTask{static_cast<int>(f), static_cast<int>(p),
+                                  static_cast<int>(j)});
+      }
+    }
+  }
+  return tasks;
+}
+
+bool IsCanonicalPivot(const Graph& g, const Pattern& pattern,
+                      const Binding& binding, const UpdateIndex& index,
+                      UpdateKind kind, int update_index, int pattern_edge) {
+  (void)g;
+  int best_update = update_index;
+  int best_edge = pattern_edge;
+  for (size_t p = 0; p < pattern.NumEdges(); ++p) {
+    const PatternEdge& pe = pattern.edge(static_cast<int>(p));
+    EdgeKey key{binding[pe.src], binding[pe.dst], pe.label};
+    std::optional<int> idx = index.IndexOf(kind, key);
+    if (!idx.has_value()) continue;
+    if (*idx < best_update ||
+        (*idx == best_update && static_cast<int>(p) < best_edge)) {
+      best_update = *idx;
+      best_edge = static_cast<int>(p);
+    }
+  }
+  return best_update == update_index && best_edge == pattern_edge;
+}
+
+Status ValidateForIncremental(const NgdSet& sigma) {
+  for (size_t f = 0; f < sigma.size(); ++f) {
+    const Pattern& pattern = sigma[f].pattern();
+    if (pattern.NumEdges() == 0) {
+      return Status::InvalidArgument(
+          "incremental detection: NGD '" + sigma[f].name() +
+          "' has an edge-less pattern; edge updates cannot pivot it "
+          "(use batch Dect for such rules)");
+    }
+    if (!pattern.IsConnected()) {
+      return Status::InvalidArgument(
+          "incremental detection: NGD '" + sigma[f].name() +
+          "' has a disconnected pattern; split it into connected "
+          "components (paper §6, discussion of disconnected patterns)");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
+                           const UpdateBatch& batch) {
+  NGD_RETURN_IF_ERROR(ValidateForIncremental(sigma));
+
+  UpdateIndex index(g, batch);
+  std::vector<PivotTask> tasks = EnumeratePivotTasks(g, sigma, index);
+
+  // Plan cache: one expansion order per (NGD, pattern edge) seed pair.
+  std::unordered_map<int64_t, MatchPlan> plans;
+  auto plan_for = [&](int f, int p) -> const MatchPlan& {
+    int64_t key = (static_cast<int64_t>(f) << 32) | static_cast<uint32_t>(p);
+    auto it = plans.find(key);
+    if (it != plans.end()) return it->second;
+    const Ngd& ngd = sigma[f];
+    const PatternEdge& pe = ngd.pattern().edge(p);
+    std::vector<int> seeds{pe.src};
+    if (pe.dst != pe.src) seeds.push_back(pe.dst);
+    MatchPlan plan =
+        BuildMatchPlan(ngd.pattern(), std::move(seeds), &ngd.X(), &ngd.Y());
+    return plans.emplace(key, std::move(plan)).first->second;
+  };
+
+  DeltaVio delta;
+  for (const PivotTask& task : tasks) {
+    const Ngd& ngd = sigma[task.ngd_index];
+    const EffectiveUpdate& u = index.updates()[task.update_index];
+    const PatternEdge& pe = ngd.pattern().edge(task.pattern_edge);
+
+    PivotEdgeFilter filter(&index, u.kind, task.update_index);
+    SearchConfig cfg;
+    cfg.graph = &g;
+    cfg.pattern = &ngd.pattern();
+    cfg.x = &ngd.X();
+    cfg.y = &ngd.Y();
+    cfg.view =
+        u.kind == UpdateKind::kInsert ? GraphView::kNew : GraphView::kOld;
+    cfg.edge_filter = &filter;
+    cfg.find_violations = true;
+
+    Binding binding(ngd.pattern().NumNodes(), kInvalidNode);
+    binding[pe.src] = u.edge.src;
+    binding[pe.dst] = u.edge.dst;
+
+    VioSet& target =
+        u.kind == UpdateKind::kInsert ? delta.added : delta.removed;
+    RunSeededSearch(cfg, plan_for(task.ngd_index, task.pattern_edge),
+                    &binding, [&](const Binding& match) {
+                      if (IsCanonicalPivot(g, ngd.pattern(), match, index,
+                                           u.kind, task.update_index,
+                                           task.pattern_edge)) {
+                        target.Add(Violation{task.ngd_index, match});
+                      }
+                      return true;
+                    });
+  }
+  return delta;
+}
+
+}  // namespace ngd

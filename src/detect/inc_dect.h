@@ -1,0 +1,115 @@
+// IncDect: sequential localizable incremental error detection (paper §6.2).
+//
+// Given G with a pending batch update ΔG (the edge-state overlay), IncDect
+// computes ΔVio(Σ, G, ΔG) = (ΔVio+, ΔVio-) by update-driven evaluation:
+//
+//   1. Every effective unit update (v,v') that can match some pattern edge
+//      (u,u') of an NGD in Σ forms an UPDATE PIVOT hup(u,u') = (v,v').
+//   2. IncMatch expands each pivot recursively (IncSubMatch), drawing
+//      candidates only from neighbors of already-matched nodes — never
+//      from a global scan. All work is confined to the d_Σ-neighborhood
+//      of ΔG, which makes the algorithm localizable (§6.1).
+//   3. View discipline: pivots from insertions search G ⊕ ΔG (kNew, which
+//      excludes deleted edges); pivots from deletions search G (kOld,
+//      which excludes inserted edges). Insertions only add violations,
+//      deletions only remove them.
+//   4. Duplicate suppression ("marks the combination of update pivots"):
+//      a match found from pivot (update j, pattern edge p) is emitted only
+//      if (j, p) is the lexicographically minimal update incidence of the
+//      match; expansion additionally refuses update edges with index < j,
+//      so each violation is enumerated exactly once across all pivots.
+//
+// The pieces (UpdateIndex, pivot tasks, filters, canonicality) are exposed
+// so PIncDect can distribute the same work units across processors.
+
+#ifndef NGD_DETECT_INC_DECT_H_
+#define NGD_DETECT_INC_DECT_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/violation.h"
+#include "graph/updates.h"
+#include "match/homomorphism.h"
+
+namespace ngd {
+
+/// An update that actually changed the graph (cancelled-out records like
+/// delete+reinsert of one edge are filtered against the overlay state).
+struct EffectiveUpdate {
+  UpdateKind kind;
+  EdgeKey edge;
+};
+
+/// Index over the effective updates of a batch; positions define the pivot
+/// order used for duplicate suppression.
+class UpdateIndex {
+ public:
+  UpdateIndex(const Graph& g, const UpdateBatch& batch);
+
+  const std::vector<EffectiveUpdate>& updates() const { return updates_; }
+
+  /// Position of an inserted/deleted edge in the pivot order.
+  std::optional<int> IndexOf(UpdateKind kind, const EdgeKey& key) const;
+
+ private:
+  std::vector<EffectiveUpdate> updates_;
+  std::unordered_map<EdgeKey, int, EdgeKeyHash> insert_index_;
+  std::unordered_map<EdgeKey, int, EdgeKeyHash> delete_index_;
+};
+
+/// Rejects update edges with pivot order below the current pivot, so each
+/// match is reached from its minimal update edge only.
+class PivotEdgeFilter : public EdgeFilter {
+ public:
+  PivotEdgeFilter(const UpdateIndex* index, UpdateKind kind, int pivot_index)
+      : index_(index), kind_(kind), pivot_index_(pivot_index) {}
+
+  bool Admit(int /*pattern_edge*/, NodeId src, NodeId dst,
+             LabelId label) const override {
+    auto i = index_->IndexOf(kind_, EdgeKey{src, dst, label});
+    return !i.has_value() || *i >= pivot_index_;
+  }
+
+ private:
+  const UpdateIndex* index_;
+  UpdateKind kind_;
+  int pivot_index_;
+};
+
+/// One unit of update-driven work: expand pivot hup(u,u') = (v,v') where
+/// pattern edge `pattern_edge` of NGD `ngd_index` matches effective update
+/// `update_index`.
+struct PivotTask {
+  int ngd_index;
+  int pattern_edge;
+  int update_index;
+};
+
+/// All pivot tasks for (Σ, ΔG): label-compatible (update, pattern-edge)
+/// pairs.
+std::vector<PivotTask> EnumeratePivotTasks(const Graph& g,
+                                           const NgdSet& sigma,
+                                           const UpdateIndex& index);
+
+/// True iff (update_index, pattern_edge) is the minimal update incidence
+/// of the full match `binding` — the emission-side duplicate check.
+bool IsCanonicalPivot(const Graph& g, const Pattern& pattern,
+                      const Binding& binding, const UpdateIndex& index,
+                      UpdateKind kind, int update_index, int pattern_edge);
+
+/// Incremental detection requires every pattern to be connected with at
+/// least one edge (edge updates cannot pivot edge-less patterns; the
+/// paper's §6 preliminaries make the same connectivity assumption).
+Status ValidateForIncremental(const NgdSet& sigma);
+
+/// Computes ΔVio(Σ, G, ΔG). `g` must carry ΔG as its pending overlay
+/// (apply via ApplyUpdateBatch before calling; Commit afterwards).
+/// Requires every pattern in Σ to be connected with ≥ 1 edge.
+StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
+                           const UpdateBatch& batch);
+
+}  // namespace ngd
+
+#endif  // NGD_DETECT_INC_DECT_H_

@@ -1,0 +1,58 @@
+#include "detect/violation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ngd {
+
+void VioSet::Merge(VioSet&& other) {
+  if (set_.empty()) {
+    set_ = std::move(other.set_);
+    return;
+  }
+  for (auto it = other.set_.begin(); it != other.set_.end();) {
+    set_.insert(std::move(other.set_.extract(it++).value()));
+  }
+}
+
+void VioSet::Remove(const VioSet& other) {
+  for (const auto& v : other.set_) set_.erase(v);
+}
+
+std::vector<Violation> VioSet::Sorted() const {
+  std::vector<Violation> out(set_.begin(), set_.end());
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.ngd_index != b.ngd_index) {
+                return a.ngd_index < b.ngd_index;
+              }
+              return a.nodes < b.nodes;
+            });
+  return out;
+}
+
+VioSet ApplyDelta(const VioSet& base, const DeltaVio& delta) {
+  VioSet result;
+  for (const auto& v : base.items()) {
+    if (!delta.removed.Contains(v)) result.Add(v);
+  }
+  for (const auto& v : delta.added.items()) result.Add(v);
+  return result;
+}
+
+std::string ViolationToString(const Violation& v, const NgdSet& sigma,
+                              const Graph& g) {
+  std::ostringstream os;
+  const Ngd& ngd = sigma[v.ngd_index];
+  os << ngd.name() << "{";
+  const auto& nodes = ngd.pattern().nodes();
+  for (size_t i = 0; i < v.nodes.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << nodes[i].var << "->" << v.nodes[i] << ":"
+       << g.NodeLabelName(v.nodes[i]);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ngd

@@ -1,0 +1,81 @@
+// Violations and violation sets (paper §5.1).
+//
+// A violation of φ = Q[x̄](X → Y) in G is a match h(x̄) with Gh ̸|= φ,
+// identified by the NGD index and the node tuple h(x̄) in pattern-node
+// order. Vio(Σ, G) collects violations of all NGDs in Σ; incremental
+// detection computes the delta (ΔVio+, ΔVio-).
+
+#ifndef NGD_DETECT_VIOLATION_H_
+#define NGD_DETECT_VIOLATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/ngd.h"
+#include "graph/graph.h"
+
+namespace ngd {
+
+struct Violation {
+  int ngd_index = -1;
+  std::vector<NodeId> nodes;  ///< h(x̄), indexed by pattern-node index
+
+  bool operator==(const Violation& o) const {
+    return ngd_index == o.ngd_index && nodes == o.nodes;
+  }
+};
+
+struct ViolationHash {
+  size_t operator()(const Violation& v) const {
+    uint64_t h = static_cast<uint64_t>(v.ngd_index) * 0x9e3779b97f4a7c15ULL;
+    for (NodeId n : v.nodes) {
+      h ^= n + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+class VioSet {
+ public:
+  VioSet() = default;
+
+  /// Returns true if newly added.
+  bool Add(Violation v) { return set_.insert(std::move(v)).second; }
+  bool Contains(const Violation& v) const { return set_.count(v) > 0; }
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+
+  void Merge(VioSet&& other);
+  void Remove(const VioSet& other);
+
+  const std::unordered_set<Violation, ViolationHash>& items() const {
+    return set_;
+  }
+
+  /// Deterministic ordering (for tests and diffing).
+  std::vector<Violation> Sorted() const;
+
+ private:
+  std::unordered_set<Violation, ViolationHash> set_;
+};
+
+/// ΔVio = (ΔVio+, ΔVio-): violations introduced / removed by ΔG.
+struct DeltaVio {
+  VioSet added;
+  VioSet removed;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+
+/// Vio(Σ, G ⊕ ΔG) = (Vio(Σ, G) ∪ ΔVio+) \ ΔVio-. The paper's correctness
+/// criterion; used by tests to cross-check IncDect against batch Dect.
+VioSet ApplyDelta(const VioSet& base, const DeltaVio& delta);
+
+std::string ViolationToString(const Violation& v, const NgdSet& sigma,
+                              const Graph& g);
+
+}  // namespace ngd
+
+#endif  // NGD_DETECT_VIOLATION_H_

@@ -1,0 +1,41 @@
+// Levelwise NGD discovery (in the spirit of "Discovering Graph Functional
+// Dependencies", Fan et al. SIGMOD'18 [22], which §7 uses to obtain rule
+// sets).
+//
+// The miner interleaves:
+//   - VERTICAL expansion: grow frequent patterns — single labelled edges
+//     first, then two-edge patterns joined on a shared endpoint;
+//   - HORIZONTAL expansion: over the matches of each frequent pattern,
+//     mine literals (x.A ⊗ y.B, x.A ⊗ c, x.A + y.B = z.C) whose
+//     confidence on the match sample meets the threshold.
+// Rules discovered from a graph hold on (nearly) all of its subgraphs —
+// exactly the "strongly satisfied" property the paper requires of its
+// experiment rules.
+
+#ifndef NGD_DISCOVERY_MINER_H_
+#define NGD_DISCOVERY_MINER_H_
+
+#include "core/ngd.h"
+#include "graph/graph.h"
+
+namespace ngd {
+
+struct MinerOptions {
+  size_t min_support = 8;      ///< minimum matches for a frequent pattern
+  double min_confidence = 1.0; ///< fraction of matches satisfying Y
+  size_t max_matches_per_pattern = 4000;  ///< sampling cap
+  size_t max_rules = 50;
+  bool mine_two_edge_patterns = true;
+  /// Fan-out patterns with three edges from a shared source — needed for
+  /// 3-leaf dependencies like femalePopulation + malePopulation =
+  /// populationTotal.
+  bool mine_three_edge_fanouts = true;
+  bool mine_sum_literals = true;  ///< x.A + y.B = z.C (3-var equalities)
+};
+
+/// Mines NGDs that hold on `g` with the requested confidence.
+NgdSet DiscoverNgds(const Graph& g, const MinerOptions& opts);
+
+}  // namespace ngd
+
+#endif  // NGD_DISCOVERY_MINER_H_

@@ -1,0 +1,192 @@
+#include "discovery/ngd_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace ngd {
+
+namespace {
+
+/// A sampled concrete subgraph: nodes (graph ids) and edges among them.
+struct Sample {
+  std::vector<NodeId> nodes;
+  struct Edge {
+    int src;  // index into nodes
+    int dst;
+    LabelId label;
+  };
+  std::vector<Edge> edges;
+
+  int IndexOf(NodeId v) const {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Random-walks `g` from a random seed, collecting a connected subgraph
+/// whose pattern diameter lands near `target_diameter`.
+bool SampleSubgraph(const Graph& g, int target_diameter, Rng* rng,
+                    Sample* out) {
+  if (g.NumNodes() == 0) return false;
+  for (int attempt = 0; attempt < 30; ++attempt) {
+    NodeId seed =
+        static_cast<NodeId>(rng->UniformInt(0, g.NumNodes() - 1));
+    if (g.AdjSize(seed) == 0) continue;
+    Sample s;
+    s.nodes.push_back(seed);
+    // Walk: extend a frontier node via a random incident edge; bias toward
+    // path growth (reaching the diameter) then add closing edges.
+    int want_edges = target_diameter + static_cast<int>(rng->UniformInt(0, 2));
+    NodeId walker = seed;
+    for (int step = 0; step < want_edges * 4 &&
+                       static_cast<int>(s.edges.size()) < want_edges;
+         ++step) {
+      const auto& outs = g.OutEdges(walker);
+      const auto& ins = g.InEdges(walker);
+      size_t total = outs.size() + ins.size();
+      if (total == 0) {
+        walker = rng->PickFrom(s.nodes);
+        continue;
+      }
+      size_t pick = static_cast<size_t>(rng->UniformInt(0, total - 1));
+      bool is_out = pick < outs.size();
+      const AdjEntry& e = is_out ? outs[pick] : ins[pick - outs.size()];
+      if (e.state != EdgeState::kBase) continue;
+      NodeId other = e.other;
+      int oi = s.IndexOf(other);
+      if (oi < 0) {
+        if (s.nodes.size() >= 8) {  // keep patterns small
+          walker = rng->PickFrom(s.nodes);
+          continue;
+        }
+        s.nodes.push_back(other);
+        oi = static_cast<int>(s.nodes.size()) - 1;
+      }
+      int wi = s.IndexOf(walker);
+      Sample::Edge se = is_out ? Sample::Edge{wi, oi, e.label}
+                               : Sample::Edge{oi, wi, e.label};
+      bool dup = false;
+      for (const auto& ex : s.edges) {
+        if (ex.src == se.src && ex.dst == se.dst && ex.label == se.label) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) s.edges.push_back(se);
+      walker = other;
+    }
+    if (s.edges.empty()) continue;
+    *out = std::move(s);
+    return true;
+  }
+  return false;
+}
+
+/// Numeric attributes available on a sampled node.
+std::vector<std::pair<AttrId, int64_t>> NumericAttrs(const Graph& g,
+                                                     NodeId v) {
+  std::vector<std::pair<AttrId, int64_t>> out;
+  for (const auto& [attr, value] : g.Attrs(v)) {
+    if (value.is_int()) out.push_back({attr, value.AsInt()});
+  }
+  return out;
+}
+
+}  // namespace
+
+NgdSet GenerateNgdSet(const Graph& g, const NgdGenOptions& opts) {
+  Rng rng(opts.seed);
+  NgdSet set;
+  size_t guard = 0;
+  while (set.size() < opts.count && ++guard < opts.count * 40) {
+    int target_diameter = static_cast<int>(
+        rng.UniformInt(opts.min_diameter, opts.max_diameter));
+    Sample sample;
+    if (!SampleSubgraph(g, target_diameter, &rng, &sample)) continue;
+
+    Pattern pattern;
+    for (size_t i = 0; i < sample.nodes.size(); ++i) {
+      LabelId label = rng.Bernoulli(opts.wildcard_prob)
+                          ? kWildcardLabel
+                          : g.NodeLabel(sample.nodes[i]);
+      pattern.AddNode("x" + std::to_string(i), label);
+    }
+    bool edges_ok = true;
+    for (const auto& e : sample.edges) {
+      if (!pattern.AddEdge(e.src, e.dst, e.label).ok()) {
+        edges_ok = false;
+        break;
+      }
+    }
+    if (!edges_ok || !pattern.IsConnected()) continue;
+
+    // Literal synthesis calibrated on the sampled instance: build linear
+    // expressions over numeric attributes of the sampled nodes; thresholds
+    // are the sampled value of the expression, possibly tightened to plant
+    // a violation.
+    auto make_expr = [&](int64_t* sampled_value) -> std::optional<Expr> {
+      size_t terms = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(opts.max_expr_terms)));
+      std::optional<Expr> expr;
+      int64_t total = 0;
+      for (size_t t = 0; t < terms; ++t) {
+        int var = static_cast<int>(
+            rng.UniformInt(0, static_cast<int64_t>(sample.nodes.size()) - 1));
+        auto attrs = NumericAttrs(g, sample.nodes[var]);
+        if (attrs.empty()) continue;
+        auto [attr, value] = rng.PickFrom(attrs);
+        int64_t coef = rng.UniformInt(1, 3);
+        if (rng.Bernoulli(0.3)) coef = -coef;
+        Expr term = Expr::Mul(Expr::IntConst(coef), Expr::Var(var, attr));
+        total += coef * value;
+        expr = expr.has_value() ? Expr::Add(*expr, std::move(term))
+                                : std::move(term);
+      }
+      if (!expr.has_value()) return std::nullopt;
+      *sampled_value = total;
+      return expr;
+    };
+
+    size_t num_literals = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(opts.max_literals)));
+    std::vector<Literal> x_lits, y_lits;
+    for (size_t li = 0; li < num_literals; ++li) {
+      int64_t sampled = 0;
+      std::optional<Expr> expr = make_expr(&sampled);
+      if (!expr.has_value()) continue;
+      bool to_x = !x_lits.empty() || li + 1 < num_literals
+                      ? rng.Bernoulli(opts.x_literal_prob)
+                      : false;
+      if (to_x && y_lits.empty() && li + 1 == num_literals) to_x = false;
+      if (to_x) {
+        // Precondition the sampled instance satisfies: expr <= sampled + s.
+        x_lits.emplace_back(std::move(*expr), CmpOp::kLe,
+                            Expr::IntConst(sampled + rng.UniformInt(0, 50)));
+      } else {
+        bool violated = rng.Bernoulli(opts.violation_rate);
+        // Y literal: expr <= bound. Violated on the sample iff bound is
+        // below the sampled value.
+        int64_t bound = violated ? sampled - 1 - rng.UniformInt(0, 20)
+                                 : sampled + rng.UniformInt(0, 100);
+        CmpOp op = rng.Bernoulli(0.25) ? CmpOp::kNe : CmpOp::kLe;
+        if (op == CmpOp::kNe) {
+          bound = violated ? sampled : sampled + 1 + rng.UniformInt(0, 50);
+        }
+        y_lits.emplace_back(std::move(*expr), op, Expr::IntConst(bound));
+      }
+    }
+    if (y_lits.empty()) continue;
+
+    Ngd ngd("gen" + std::to_string(set.size()), std::move(pattern),
+            std::move(x_lits), std::move(y_lits));
+    if (!ngd.Validate().ok()) continue;
+    set.Add(std::move(ngd));
+  }
+  return set;
+}
+
+}  // namespace ngd

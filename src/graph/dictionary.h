@@ -1,0 +1,74 @@
+// String interning for labels (Γ) and attributes (Θ).
+//
+// A Schema bundles the two dictionaries shared by a graph and the patterns
+// and NGDs evaluated against it, so label/attribute identity is a cheap
+// integer comparison everywhere in the matching engine.
+
+#ifndef NGD_GRAPH_DICTIONARY_H_
+#define NGD_GRAPH_DICTIONARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ngd {
+
+using LabelId = uint32_t;
+using AttrId = uint32_t;
+
+/// The reserved wildcard label '_' always interns to id 0 in the label
+/// dictionary; it matches any node label (paper §2, graph patterns).
+inline constexpr LabelId kWildcardLabel = 0;
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id for `name` if already interned.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  /// Requires id < size().
+  const std::string& NameOf(uint32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// Shared label/attribute alphabets. The label dictionary pre-interns the
+/// wildcard '_' at id 0.
+class Schema {
+ public:
+  Schema() { labels_.Intern("_"); }
+
+  Dictionary& labels() { return labels_; }
+  const Dictionary& labels() const { return labels_; }
+  Dictionary& attrs() { return attrs_; }
+  const Dictionary& attrs() const { return attrs_; }
+
+  LabelId InternLabel(std::string_view name) { return labels_.Intern(name); }
+  AttrId InternAttr(std::string_view name) { return attrs_.Intern(name); }
+
+  static std::shared_ptr<Schema> Create() {
+    return std::make_shared<Schema>();
+  }
+
+ private:
+  Dictionary labels_;
+  Dictionary attrs_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace ngd
+
+#endif  // NGD_GRAPH_DICTIONARY_H_

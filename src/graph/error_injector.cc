@@ -1,0 +1,209 @@
+#include "graph/error_injector.h"
+
+#include <algorithm>
+
+namespace ngd {
+
+namespace {
+// All planter edges are base edges on fresh nodes, so AddEdge cannot fail;
+// assert-discard keeps call sites readable.
+void MustAdd(Status s) {
+  (void)s;
+  assert(s.ok());
+}
+}  // namespace
+
+NodeId ErrorInjector::AddIntNode(std::string_view label, int64_t val) {
+  NodeId v = g_->AddNode(label);
+  g_->SetAttr(v, "val", Value(val));
+  return v;
+}
+
+MotifStats ErrorInjector::PlantLifespan(size_t count, double error_rate) {
+  MotifStats stats;
+  for (size_t i = 0; i < count; ++i) {
+    NodeId org = g_->AddNode("org");
+    int64_t created = rng_.UniformInt(700000, 730000);  // days since epoch 0
+    bool bad = rng_.Bernoulli(error_rate);
+    int64_t destroyed =
+        bad ? created - rng_.UniformInt(1, 20000)
+            : created + rng_.UniformInt(400, 40000);
+    NodeId c = AddIntNode("date", created);
+    NodeId d = AddIntNode("date", destroyed);
+    MustAdd(g_->AddEdge(org, c, "wasCreatedOnDate"));
+    MustAdd(g_->AddEdge(org, d, "wasDestroyedOnDate"));
+    ++stats.instances;
+    stats.errors += bad ? 1 : 0;
+  }
+  return stats;
+}
+
+MotifStats ErrorInjector::PlantPopulation(size_t count, double error_rate) {
+  MotifStats stats;
+  for (size_t i = 0; i < count; ++i) {
+    NodeId area = g_->AddNode("area");
+    int64_t female = rng_.UniformInt(100, 100000);
+    int64_t male = rng_.UniformInt(100, 100000);
+    bool bad = rng_.Bernoulli(error_rate);
+    int64_t total = female + male + (bad ? rng_.UniformInt(1, 5000) : 0);
+    MustAdd(g_->AddEdge(area, AddIntNode("integer", female),
+                        "femalePopulation"));
+    MustAdd(g_->AddEdge(area, AddIntNode("integer", male), "malePopulation"));
+    MustAdd(g_->AddEdge(area, AddIntNode("integer", total),
+                        "populationTotal"));
+    ++stats.instances;
+    stats.errors += bad ? 1 : 0;
+  }
+  return stats;
+}
+
+MotifStats ErrorInjector::PlantPopulationRank(size_t count,
+                                              double error_rate) {
+  MotifStats stats;
+  for (size_t i = 0; i < count; ++i) {
+    NodeId region = g_->AddNode("place");
+    NodeId x = g_->AddNode("place");
+    NodeId y = g_->AddNode("place");
+    MustAdd(g_->AddEdge(x, region, "partof"));
+    MustAdd(g_->AddEdge(y, region, "partof"));
+    int64_t pop_x = rng_.UniformInt(10000, 400000);
+    int64_t pop_y = pop_x + rng_.UniformInt(1000, 100000);  // y more populous
+    int64_t rank_y = rng_.UniformInt(1, 40);
+    bool bad = rng_.Bernoulli(error_rate);
+    // Correct data: more population => numerically smaller (better) rank,
+    // so x (smaller population) must rank strictly behind y.
+    int64_t rank_x = bad ? rank_y - rng_.UniformInt(0, rank_y > 1 ? rank_y - 1 : 0)
+                         : rank_y + rng_.UniformInt(1, 60);
+    NodeId m1 = AddIntNode("integer", pop_x);
+    NodeId m2 = AddIntNode("integer", pop_y);
+    NodeId n1 = AddIntNode("integer", rank_x);
+    NodeId n2 = AddIntNode("integer", rank_y);
+    MustAdd(g_->AddEdge(x, m1, "population"));
+    MustAdd(g_->AddEdge(y, m2, "population"));
+    MustAdd(g_->AddEdge(x, n1, "populationRank"));
+    MustAdd(g_->AddEdge(y, n2, "populationRank"));
+    // Census date shared by both population readings (Fig 1 G3).
+    NodeId census = AddIntNode("date", 20140401);
+    MustAdd(g_->AddEdge(m1, census, "date"));
+    MustAdd(g_->AddEdge(m2, census, "date"));
+    ++stats.instances;
+    stats.errors += bad ? 1 : 0;
+  }
+  return stats;
+}
+
+MotifStats ErrorInjector::PlantFakeAccounts(size_t count, double error_rate) {
+  MotifStats stats;
+  for (size_t i = 0; i < count; ++i) {
+    NodeId company = g_->AddNode("company");
+    NodeId real = g_->AddNode("account");
+    NodeId other = g_->AddNode("account");
+    MustAdd(g_->AddEdge(real, company, "keys"));
+    MustAdd(g_->AddEdge(other, company, "keys"));
+    int64_t followers = rng_.UniformInt(40000, 120000);
+    int64_t following = rng_.UniformInt(10000, 40000);
+    MustAdd(g_->AddEdge(real, AddIntNode("integer", followers), "follower"));
+    MustAdd(g_->AddEdge(real, AddIntNode("integer", following), "following"));
+    MustAdd(g_->AddEdge(real, AddIntNode("boolean", 1), "status"));
+    bool bad = rng_.Bernoulli(error_rate);
+    // The suspicious account always has a big deficit; the *error* is its
+    // status claiming it is real (status = 1) despite the deficit.
+    int64_t f2 = rng_.UniformInt(0, 50);
+    int64_t g2 = rng_.UniformInt(0, 50);
+    MustAdd(g_->AddEdge(other, AddIntNode("integer", f2), "follower"));
+    MustAdd(g_->AddEdge(other, AddIntNode("integer", g2), "following"));
+    MustAdd(g_->AddEdge(other, AddIntNode("boolean", bad ? 1 : 0), "status"));
+    ++stats.instances;
+    stats.errors += bad ? 1 : 0;
+  }
+  return stats;
+}
+
+MotifStats ErrorInjector::PlantLivingPeople(size_t count, double error_rate) {
+  MotifStats stats;
+  for (size_t i = 0; i < count; ++i) {
+    NodeId person = g_->AddNode("person");
+    bool bad = rng_.Bernoulli(error_rate);
+    int64_t birth = bad ? rng_.UniformInt(1500, 1799)
+                        : rng_.UniformInt(1930, 2005);
+    NodeId y = AddIntNode("year", birth);
+    NodeId cat = g_->AddNode("category");
+    g_->SetAttr(cat, "val", Value("living people"));
+    MustAdd(g_->AddEdge(person, y, "birthYear"));
+    MustAdd(g_->AddEdge(person, cat, "category"));
+    ++stats.instances;
+    stats.errors += bad ? 1 : 0;
+  }
+  return stats;
+}
+
+MotifStats ErrorInjector::PlantOlympicNations(size_t count,
+                                              double error_rate) {
+  MotifStats stats;
+  for (size_t i = 0; i < count; ++i) {
+    NodeId event = g_->AddNode("competition");
+    g_->SetAttr(event, "type", Value("Olympic"));
+    int64_t competitors = rng_.UniformInt(20, 500);
+    bool bad = rng_.Bernoulli(error_rate);
+    int64_t nations = bad ? competitors + rng_.UniformInt(1, 50)
+                          : rng_.UniformInt(1, competitors);
+    MustAdd(g_->AddEdge(event, AddIntNode("integer", competitors),
+                        "competitors"));
+    MustAdd(g_->AddEdge(event, AddIntNode("integer", nations), "nations"));
+    ++stats.instances;
+    stats.errors += bad ? 1 : 0;
+  }
+  return stats;
+}
+
+MotifStats ErrorInjector::PlantF1Wins(size_t count, double error_rate) {
+  MotifStats stats;
+  for (size_t i = 0; i < count; ++i) {
+    NodeId team = g_->AddNode("team");
+    NodeId d1 = g_->AddNode("driver");
+    NodeId d2 = g_->AddNode("driver");
+    NodeId year = AddIntNode("year", rng_.UniformInt(1990, 2017));
+    MustAdd(g_->AddEdge(d1, team, "team"));
+    MustAdd(g_->AddEdge(d2, team, "team"));
+    MustAdd(g_->AddEdge(team, year, "year"));
+    MustAdd(g_->AddEdge(d1, year, "year"));
+    MustAdd(g_->AddEdge(d2, year, "year"));
+    int64_t w1 = rng_.UniformInt(0, 6);
+    int64_t w2 = rng_.UniformInt(0, 6);
+    bool bad = rng_.Bernoulli(error_rate);
+    if (bad && w1 + w2 == 0) {
+      w1 = 1;  // guarantee the inconsistency is actually present
+    }
+    // Clean instances must survive homomorphic folding too: the match
+    // w1 = w2 = d1 requires team wins >= 2 * max(d1, d2), not just the
+    // sum of the two distinct drivers.
+    int64_t team_wins =
+        bad ? (w1 + w2 > 0 ? rng_.UniformInt(0, w1 + w2 - 1) : 0)
+            : 2 * std::max(w1, w2) + rng_.UniformInt(0, 4);
+    g_->SetAttr(team, "numberOfWins", Value(team_wins));
+    g_->SetAttr(d1, "numberOfWins", Value(w1));
+    g_->SetAttr(d2, "numberOfWins", Value(w2));
+    ++stats.instances;
+    stats.errors += bad ? 1 : 0;
+  }
+  return stats;
+}
+
+MotifStats ErrorInjector::PlantConstantBinding(size_t count,
+                                               double error_rate) {
+  MotifStats stats;
+  for (size_t i = 0; i < count; ++i) {
+    NodeId city = g_->AddNode("capital");
+    NodeId country = g_->AddNode("country");
+    MustAdd(g_->AddEdge(city, country, "locatedIn"));
+    bool bad = rng_.Bernoulli(error_rate);
+    g_->SetAttr(city, "kind",
+                Value(bad ? std::string("village")
+                          : std::string("capital-city")));
+    ++stats.instances;
+    stats.errors += bad ? 1 : 0;
+  }
+  return stats;
+}
+
+}  // namespace ngd

@@ -1,0 +1,135 @@
+#include "graph/generators.h"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ngd {
+
+std::unique_ptr<Graph> GenerateGraph(const GraphGenConfig& config,
+                                     SchemaPtr schema) {
+  Rng rng(config.seed);
+  auto graph = std::make_unique<Graph>(schema);
+
+  std::vector<LabelId> node_labels(config.num_node_labels);
+  for (size_t i = 0; i < config.num_node_labels; ++i) {
+    node_labels[i] = schema->InternLabel("t" + std::to_string(i));
+  }
+  std::vector<LabelId> edge_labels(config.num_edge_labels);
+  for (size_t i = 0; i < config.num_edge_labels; ++i) {
+    edge_labels[i] = schema->InternLabel("e" + std::to_string(i));
+  }
+  std::vector<AttrId> attrs(config.num_attrs);
+  for (size_t i = 0; i < config.num_attrs; ++i) {
+    attrs[i] = schema->InternAttr("a" + std::to_string(i));
+  }
+
+  // Nodes: skewed label assignment, attributes keyed off the label rank so
+  // that same-labeled nodes carry the same attribute names (as real typed
+  // entities do) with random values.
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    size_t label_rank = rng.Zipf(config.num_node_labels, config.label_skew);
+    NodeId v = graph->AddNode(node_labels[label_rank]);
+    for (size_t k = 0; k < config.attrs_per_node; ++k) {
+      AttrId a = attrs[(label_rank + k) % config.num_attrs];
+      graph->SetAttr(v, a,
+                     Value(rng.UniformInt(config.value_min,
+                                          config.value_max)));
+    }
+  }
+
+  // Edges: endpoints by mixture of uniform and preferential attachment
+  // (repeat-list technique), labels skewed; (src,dst,label) deduplicated
+  // by Graph::AddEdge.
+  std::vector<NodeId> repeat_list;
+  repeat_list.reserve(config.num_edges * 2);
+  size_t added = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = config.num_edges * 10 + 1000;
+  const int64_t n = static_cast<int64_t>(config.num_nodes);
+  while (added < config.num_edges && attempts < max_attempts) {
+    ++attempts;
+    auto pick = [&]() -> NodeId {
+      if (!repeat_list.empty() && rng.Bernoulli(config.pref_attach)) {
+        return rng.PickFrom(repeat_list);
+      }
+      return static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    };
+    NodeId src = pick();
+    NodeId dst = pick();
+    if (src == dst) continue;
+    size_t lrank = rng.Zipf(config.num_edge_labels, config.label_skew);
+    if (graph->AddEdge(src, dst, edge_labels[lrank]).ok()) {
+      ++added;
+      repeat_list.push_back(src);
+      repeat_list.push_back(dst);
+    }
+  }
+  return graph;
+}
+
+GraphGenConfig DBpediaLikeConfig(double scale, uint64_t seed) {
+  GraphGenConfig c;
+  c.name = "dbpedia-like";
+  c.num_nodes = static_cast<size_t>(28.0e6 * scale);
+  c.num_edges = static_cast<size_t>(33.4e6 * scale);
+  c.num_node_labels = 200;
+  c.num_edge_labels = 160;
+  c.num_attrs = 40;
+  c.attrs_per_node = 3;
+  c.label_skew = 0.9;
+  c.pref_attach = 0.35;  // knowledge graphs: hubs exist but modest skew
+  c.seed = seed;
+  return c;
+}
+
+GraphGenConfig Yago2LikeConfig(double scale, uint64_t seed) {
+  GraphGenConfig c;
+  c.name = "yago2-like";
+  c.num_nodes = static_cast<size_t>(3.5e6 * scale);
+  c.num_edges = static_cast<size_t>(7.35e6 * scale);
+  c.num_node_labels = 13;
+  c.num_edge_labels = 36;
+  c.num_attrs = 20;
+  c.attrs_per_node = 3;
+  c.label_skew = 0.7;
+  c.pref_attach = 0.3;
+  c.seed = seed;
+  return c;
+}
+
+GraphGenConfig PokecLikeConfig(double scale, uint64_t seed) {
+  GraphGenConfig c;
+  c.name = "pokec-like";
+  c.num_nodes = static_cast<size_t>(1.63e6 * scale);
+  c.num_edges = static_cast<size_t>(30.6e6 * scale);
+  c.num_node_labels = 269;
+  c.num_edge_labels = 11;
+  c.num_attrs = 30;
+  c.attrs_per_node = 4;
+  c.label_skew = 0.8;
+  c.pref_attach = 0.5;  // social network: heavy-tailed degrees
+  c.seed = seed;
+  return c;
+}
+
+GraphGenConfig SyntheticConfig(size_t num_nodes, size_t num_edges,
+                               uint64_t seed) {
+  GraphGenConfig c;
+  c.name = "synthetic";
+  c.num_nodes = num_nodes;
+  c.num_edges = num_edges;
+  c.num_node_labels = 500;  // paper: alphabet L of 500 symbols
+  c.num_edge_labels = 50;
+  c.num_attrs = 25;
+  c.attrs_per_node = 3;
+  c.value_min = 0;
+  c.value_max = 1999;  // paper: 2000 integers
+  c.label_skew = 0.6;
+  c.pref_attach = 0.3;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace ngd

@@ -1,0 +1,244 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ngd {
+
+const std::vector<NodeId> Graph::kEmptyNodeList;
+
+Graph::Graph(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+NodeId Graph::AddNode(LabelId label) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeRecord{label, {}});
+  out_.emplace_back();
+  in_.emplace_back();
+  if (label >= label_index_.size()) label_index_.resize(label + 1);
+  label_index_[label].push_back(id);
+  return id;
+}
+
+NodeId Graph::AddNode(std::string_view label_name) {
+  return AddNode(schema_->InternLabel(label_name));
+}
+
+void Graph::SetAttr(NodeId v, AttrId attr, Value value) {
+  auto& attrs = nodes_[v].attrs;
+  auto it = std::lower_bound(
+      attrs.begin(), attrs.end(), attr,
+      [](const auto& p, AttrId a) { return p.first < a; });
+  if (it != attrs.end() && it->first == attr) {
+    it->second = std::move(value);
+  } else {
+    attrs.insert(it, {attr, std::move(value)});
+  }
+}
+
+void Graph::SetAttr(NodeId v, std::string_view attr_name, Value value) {
+  SetAttr(v, schema_->InternAttr(attr_name), std::move(value));
+}
+
+const Value* Graph::GetAttr(NodeId v, AttrId attr) const {
+  const auto& attrs = nodes_[v].attrs;
+  auto it = std::lower_bound(
+      attrs.begin(), attrs.end(), attr,
+      [](const auto& p, AttrId a) { return p.first < a; });
+  if (it != attrs.end() && it->first == attr) return &it->second;
+  return nullptr;
+}
+
+Status Graph::AddEdge(NodeId src, NodeId dst, LabelId label) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  EdgeKey key{src, dst, label};
+  if (edge_index_.count(key) > 0) {
+    return Status::AlreadyExists("edge already exists");
+  }
+  edge_index_.emplace(key, EdgeState::kBase);
+  out_[src].push_back({dst, label, EdgeState::kBase});
+  in_[dst].push_back({src, label, EdgeState::kBase});
+  ++num_base_edges_;
+  return Status::OK();
+}
+
+Status Graph::AddEdge(NodeId src, NodeId dst, std::string_view label_name) {
+  return AddEdge(src, dst, schema_->InternLabel(label_name));
+}
+
+Status Graph::InsertEdge(NodeId src, NodeId dst, LabelId label) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  EdgeKey key{src, dst, label};
+  auto it = edge_index_.find(key);
+  if (it != edge_index_.end()) {
+    if (it->second == EdgeState::kDeleted) {
+      // Reinsert of a deleted edge: net effect is the edge stays; it is in
+      // both views again. Fold to base and drop both pending ops.
+      it->second = EdgeState::kBase;
+      SetEdgeState(src, dst, label, EdgeState::kBase);
+      ++num_base_edges_;
+      --num_deleted_edges_;
+      --pending_updates_;
+      return Status::OK();
+    }
+    return Status::AlreadyExists("edge already exists in current view");
+  }
+  edge_index_.emplace(key, EdgeState::kInserted);
+  out_[src].push_back({dst, label, EdgeState::kInserted});
+  in_[dst].push_back({src, label, EdgeState::kInserted});
+  ++num_inserted_edges_;
+  ++pending_updates_;
+  return Status::OK();
+}
+
+Status Graph::DeleteEdge(NodeId src, NodeId dst, LabelId label) {
+  EdgeKey key{src, dst, label};
+  auto it = edge_index_.find(key);
+  if (it == edge_index_.end() || it->second == EdgeState::kDeleted) {
+    return Status::NotFound("edge not present in G ⊕ ΔG");
+  }
+  if (it->second == EdgeState::kInserted) {
+    // Deleting a pending insertion cancels it.
+    edge_index_.erase(it);
+    RemoveAdjEntries(src, dst, label);
+    --num_inserted_edges_;
+    --pending_updates_;
+    return Status::OK();
+  }
+  it->second = EdgeState::kDeleted;
+  SetEdgeState(src, dst, label, EdgeState::kDeleted);
+  --num_base_edges_;
+  ++num_deleted_edges_;
+  ++pending_updates_;
+  return Status::OK();
+}
+
+void Graph::SetEdgeState(NodeId src, NodeId dst, LabelId label,
+                         EdgeState state) {
+  for (auto& e : out_[src]) {
+    if (e.other == dst && e.label == label) {
+      e.state = state;
+      break;
+    }
+  }
+  for (auto& e : in_[dst]) {
+    if (e.other == src && e.label == label) {
+      e.state = state;
+      break;
+    }
+  }
+}
+
+void Graph::RemoveAdjEntries(NodeId src, NodeId dst, LabelId label) {
+  auto erase_one = [](std::vector<AdjEntry>& v, NodeId other, LabelId l) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i].other == other && v[i].label == l) {
+        v[i] = v.back();
+        v.pop_back();
+        return;
+      }
+    }
+  };
+  erase_one(out_[src], dst, label);
+  erase_one(in_[dst], src, label);
+}
+
+void Graph::Commit() {
+  if (pending_updates_ == 0) return;
+  for (auto it = edge_index_.begin(); it != edge_index_.end();) {
+    if (it->second == EdgeState::kDeleted) {
+      RemoveAdjEntries(it->first.src, it->first.dst, it->first.label);
+      it = edge_index_.erase(it);
+    } else {
+      if (it->second == EdgeState::kInserted) {
+        SetEdgeState(it->first.src, it->first.dst, it->first.label,
+                     EdgeState::kBase);
+        it->second = EdgeState::kBase;
+      }
+      ++it;
+    }
+  }
+  num_base_edges_ += num_inserted_edges_;
+  num_inserted_edges_ = 0;
+  num_deleted_edges_ = 0;
+  pending_updates_ = 0;
+}
+
+void Graph::Rollback() {
+  if (pending_updates_ == 0) return;
+  for (auto it = edge_index_.begin(); it != edge_index_.end();) {
+    if (it->second == EdgeState::kInserted) {
+      RemoveAdjEntries(it->first.src, it->first.dst, it->first.label);
+      it = edge_index_.erase(it);
+    } else {
+      if (it->second == EdgeState::kDeleted) {
+        SetEdgeState(it->first.src, it->first.dst, it->first.label,
+                     EdgeState::kBase);
+        it->second = EdgeState::kBase;
+      }
+      ++it;
+    }
+  }
+  num_base_edges_ += num_deleted_edges_;
+  num_inserted_edges_ = 0;
+  num_deleted_edges_ = 0;
+  pending_updates_ = 0;
+}
+
+size_t Graph::NumEdges(GraphView view) const {
+  return view == GraphView::kOld ? num_base_edges_ + num_deleted_edges_
+                                 : num_base_edges_ + num_inserted_edges_;
+}
+
+bool Graph::HasEdge(NodeId src, NodeId dst, LabelId label,
+                    GraphView view) const {
+  auto it = edge_index_.find(EdgeKey{src, dst, label});
+  if (it == edge_index_.end()) return false;
+  return EdgeInView(it->second, view);
+}
+
+std::optional<EdgeState> Graph::EdgeStateOf(NodeId src, NodeId dst,
+                                            LabelId label) const {
+  auto it = edge_index_.find(EdgeKey{src, dst, label});
+  if (it == edge_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Graph::Degree(NodeId v, GraphView view) const {
+  size_t d = 0;
+  for (const auto& e : out_[v]) d += EdgeInView(e.state, view) ? 1 : 0;
+  for (const auto& e : in_[v]) d += EdgeInView(e.state, view) ? 1 : 0;
+  return d;
+}
+
+const std::vector<NodeId>& Graph::NodesWithLabel(LabelId label) const {
+  if (label >= label_index_.size()) return kEmptyNodeList;
+  return label_index_[label];
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream os;
+  os << "Graph{" << NumNodes() << " nodes, " << NumEdges(GraphView::kNew)
+     << " edges (new view), " << NumEdges(GraphView::kOld)
+     << " edges (old view)}\n";
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    os << "  [" << v << "] " << NodeLabelName(v);
+    for (const auto& [a, val] : nodes_[v].attrs) {
+      os << " " << schema_->attrs().NameOf(a) << "=" << val.ToString();
+    }
+    os << "\n";
+    for (const auto& e : out_[v]) {
+      os << "    -[" << schema_->labels().NameOf(e.label) << "]-> " << e.other
+         << (e.state == EdgeState::kInserted
+                 ? " (+)"
+                 : e.state == EdgeState::kDeleted ? " (-)" : "")
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ngd

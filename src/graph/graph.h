@@ -1,0 +1,194 @@
+// Directed property multigraph with an edge-state overlay.
+//
+// G = (V, E, L, F_A) per paper §2: nodes and edges carry labels from Γ,
+// nodes carry attribute tuples with values from U. Edges are identified by
+// (src, dst, label) — parallel edges with distinct labels are allowed.
+//
+// Incremental detection (paper §5.2) needs two views of the graph at once:
+//   - GraphView::kOld — G (before the batch update ΔG)
+//   - GraphView::kNew — G ⊕ ΔG (after)
+// Instead of materializing both, each edge carries a state:
+//   kBase      in both views
+//   kInserted  only in kNew (insert(v,v') ∈ ΔG+)
+//   kDeleted   only in kOld (delete(v,v') ∈ ΔG-)
+// Commit() folds the overlay after ΔVio has been computed; Rollback()
+// discards the pending update instead.
+
+#ifndef NGD_GRAPH_GRAPH_H_
+#define NGD_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dictionary.h"
+#include "graph/value.h"
+#include "util/status.h"
+
+namespace ngd {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class EdgeState : uint8_t {
+  kBase = 0,
+  kInserted = 1,
+  kDeleted = 2,
+};
+
+enum class GraphView : uint8_t {
+  kOld = 0,  ///< G: base + deleted edges
+  kNew = 1,  ///< G ⊕ ΔG: base + inserted edges
+};
+
+/// True iff an edge in `state` exists in `view`.
+inline bool EdgeInView(EdgeState state, GraphView view) {
+  switch (state) {
+    case EdgeState::kBase:
+      return true;
+    case EdgeState::kInserted:
+      return view == GraphView::kNew;
+    case EdgeState::kDeleted:
+      return view == GraphView::kOld;
+  }
+  return false;
+}
+
+/// Adjacency entry: one directed edge endpoint, with label and state.
+struct AdjEntry {
+  NodeId other;
+  LabelId label;
+  EdgeState state;
+};
+
+/// Canonical edge identity.
+struct EdgeKey {
+  NodeId src;
+  NodeId dst;
+  LabelId label;
+
+  bool operator==(const EdgeKey& o) const {
+    return src == o.src && dst == o.dst && label == o.label;
+  }
+};
+
+struct EdgeKeyHash {
+  size_t operator()(const EdgeKey& k) const {
+    uint64_t h = (uint64_t(k.src) << 32) | k.dst;
+    h ^= uint64_t(k.label) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+class Graph {
+ public:
+  explicit Graph(SchemaPtr schema);
+
+  const SchemaPtr& schema() const { return schema_; }
+
+  // ---- Construction -------------------------------------------------------
+
+  /// Adds a node with the given label; returns its id.
+  NodeId AddNode(LabelId label);
+  NodeId AddNode(std::string_view label_name);
+
+  /// Sets (or overwrites) attribute A on node v.
+  void SetAttr(NodeId v, AttrId attr, Value value);
+  void SetAttr(NodeId v, std::string_view attr_name, Value value);
+
+  /// Adds a base edge (present in both views). Fails with kAlreadyExists if
+  /// the (src, dst, label) edge already exists in any state.
+  Status AddEdge(NodeId src, NodeId dst, LabelId label);
+  Status AddEdge(NodeId src, NodeId dst, std::string_view label_name);
+
+  // ---- Batch-update overlay (ΔG) ------------------------------------------
+
+  /// Records insert(src, dst, label) ∈ ΔG+. The edge becomes visible in
+  /// kNew only. Fails if the edge already exists in kNew.
+  Status InsertEdge(NodeId src, NodeId dst, LabelId label);
+
+  /// Records delete(src, dst, label) ∈ ΔG-. A base edge is marked deleted
+  /// (still visible in kOld); deleting a pending kInserted edge removes it
+  /// outright. Fails if no such edge exists in kNew.
+  Status DeleteEdge(NodeId src, NodeId dst, LabelId label);
+
+  /// Folds the overlay: inserted edges become base, deleted edges vanish.
+  void Commit();
+
+  /// Discards the overlay: inserted edges vanish, deleted edges revert.
+  void Rollback();
+
+  /// True if any kInserted/kDeleted edge is pending.
+  bool HasPendingUpdate() const { return pending_updates_ > 0; }
+
+  // ---- Inspection ----------------------------------------------------------
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges(GraphView view) const;
+
+  LabelId NodeLabel(NodeId v) const { return nodes_[v].label; }
+  const std::string& NodeLabelName(NodeId v) const {
+    return schema_->labels().NameOf(nodes_[v].label);
+  }
+
+  /// nullptr when the node does not carry the attribute. Matching semantics
+  /// depend on this (paper §3: "node v = h(x) carries attribute A").
+  const Value* GetAttr(NodeId v, AttrId attr) const;
+  const std::vector<std::pair<AttrId, Value>>& Attrs(NodeId v) const {
+    return nodes_[v].attrs;
+  }
+
+  bool HasEdge(NodeId src, NodeId dst, LabelId label, GraphView view) const;
+
+  /// Current overlay state of an edge, or nullopt if absent from both
+  /// views. Incremental detection uses this to recognize update records
+  /// that cancelled out (e.g. delete + reinsert of the same edge).
+  std::optional<EdgeState> EdgeStateOf(NodeId src, NodeId dst,
+                                       LabelId label) const;
+
+  /// Raw adjacency including all states; callers filter with EdgeInView.
+  const std::vector<AdjEntry>& OutEdges(NodeId v) const { return out_[v]; }
+  const std::vector<AdjEntry>& InEdges(NodeId v) const { return in_[v]; }
+
+  /// Degree (out + in) counting edges visible in `view`.
+  size_t Degree(NodeId v, GraphView view) const;
+
+  /// Total adjacency length (both directions, all states); the parallel
+  /// cost model uses this as |v.adj|.
+  size_t AdjSize(NodeId v) const { return out_[v].size() + in_[v].size(); }
+
+  /// All node ids with the given label (label-indexed candidates).
+  const std::vector<NodeId>& NodesWithLabel(LabelId label) const;
+
+  std::string DebugString() const;
+
+ private:
+  struct NodeRecord {
+    LabelId label;
+    std::vector<std::pair<AttrId, Value>> attrs;  // sorted by AttrId
+  };
+
+  void SetEdgeState(NodeId src, NodeId dst, LabelId label, EdgeState state);
+  void RemoveAdjEntries(NodeId src, NodeId dst, LabelId label);
+
+  SchemaPtr schema_;
+  std::vector<NodeRecord> nodes_;
+  std::vector<std::vector<AdjEntry>> out_;
+  std::vector<std::vector<AdjEntry>> in_;
+  std::unordered_map<EdgeKey, EdgeState, EdgeKeyHash> edge_index_;
+  std::vector<std::vector<NodeId>> label_index_;  // label -> node ids
+  size_t num_base_edges_ = 0;
+  size_t num_inserted_edges_ = 0;
+  size_t num_deleted_edges_ = 0;
+  size_t pending_updates_ = 0;
+  static const std::vector<NodeId> kEmptyNodeList;
+};
+
+}  // namespace ngd
+
+#endif  // NGD_GRAPH_GRAPH_H_

@@ -1,0 +1,95 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ngd {
+
+Status WriteGraphText(const Graph& g, std::ostream* os) {
+  const auto& schema = *g.schema();
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    *os << "N\t" << g.NodeLabelName(v);
+    for (const auto& [attr, val] : g.Attrs(v)) {
+      *os << "\t" << schema.attrs().NameOf(attr) << "=";
+      if (val.is_int()) {
+        *os << val.AsInt();
+      } else {
+        *os << '"' << val.AsString() << '"';
+      }
+    }
+    *os << "\n";
+  }
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const auto& e : g.OutEdges(v)) {
+      if (!EdgeInView(e.state, GraphView::kNew)) continue;
+      *os << "E\t" << v << "\t" << e.other << "\t"
+          << schema.labels().NameOf(e.label) << "\n";
+    }
+  }
+  if (!os->good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status SaveGraphFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::NotFound("cannot open " + path);
+  return WriteGraphText(g, &out);
+}
+
+StatusOr<std::unique_ptr<Graph>> ReadGraphText(std::istream* is,
+                                               SchemaPtr schema) {
+  auto g = std::make_unique<Graph>(schema);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(*is, line)) {
+    ++lineno;
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::vector<std::string> fields = StrSplit(sv, '\t');
+    auto err = [&](const std::string& msg) {
+      return Status::Corruption("line " + std::to_string(lineno) + ": " +
+                                msg);
+    };
+    if (fields[0] == "N") {
+      if (fields.size() < 2) return err("node record missing label");
+      NodeId v = g->AddNode(fields[1]);
+      for (size_t i = 2; i < fields.size(); ++i) {
+        size_t eq = fields[i].find('=');
+        if (eq == std::string::npos) return err("bad attr " + fields[i]);
+        std::string name = fields[i].substr(0, eq);
+        std::string raw = fields[i].substr(eq + 1);
+        if (raw.size() >= 2 && raw.front() == '"' && raw.back() == '"') {
+          g->SetAttr(v, name, Value(raw.substr(1, raw.size() - 2)));
+        } else {
+          auto n = ParseInt64(raw);
+          if (!n) return err("bad integer attr value " + raw);
+          g->SetAttr(v, name, Value(*n));
+        }
+      }
+    } else if (fields[0] == "E") {
+      if (fields.size() != 4) return err("edge record needs 4 fields");
+      auto src = ParseInt64(fields[1]);
+      auto dst = ParseInt64(fields[2]);
+      if (!src || !dst) return err("bad edge endpoints");
+      Status s = g->AddEdge(static_cast<NodeId>(*src),
+                            static_cast<NodeId>(*dst), fields[3]);
+      if (!s.ok()) return err(s.ToString());
+    } else {
+      return err("unknown record type " + fields[0]);
+    }
+  }
+  return g;
+}
+
+StatusOr<std::unique_ptr<Graph>> LoadGraphFile(const std::string& path,
+                                               SchemaPtr schema) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return ReadGraphText(&in, std::move(schema));
+}
+
+}  // namespace ngd

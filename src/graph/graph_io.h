@@ -1,0 +1,34 @@
+// Plain-text TSV graph serialization.
+//
+// Format (one record per line, UTF-8, '#' comments allowed):
+//   N <label> [<attr>=<int>|<attr>="<string>"]...     node (ids implicit, 0-based)
+//   E <src> <dst> <label>                             base edge
+// The loader interns labels/attributes into the supplied schema. This is
+// the interchange format for shipping rule-discovered datasets between the
+// examples and benches.
+
+#ifndef NGD_GRAPH_GRAPH_IO_H_
+#define NGD_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ngd {
+
+/// Writes the kNew view of `g` (pending overlay folded into the output).
+Status WriteGraphText(const Graph& g, std::ostream* os);
+Status SaveGraphFile(const Graph& g, const std::string& path);
+
+/// Parses a graph in the TSV format above.
+StatusOr<std::unique_ptr<Graph>> ReadGraphText(std::istream* is,
+                                               SchemaPtr schema);
+StatusOr<std::unique_ptr<Graph>> LoadGraphFile(const std::string& path,
+                                               SchemaPtr schema);
+
+}  // namespace ngd
+
+#endif  // NGD_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,64 @@
+// Batch updates ΔG and their random generation.
+//
+// A unit update is an edge insertion or deletion (paper §5.2); insertions
+// may introduce new nodes carrying labels and attributes. The generator
+// reproduces §7's setup: ΔG is controlled by |ΔG| (a fraction of |E|) and
+// the ratio γ of insertions to deletions (γ = 1 keeps |G| unchanged).
+
+#ifndef NGD_GRAPH_UPDATES_H_
+#define NGD_GRAPH_UPDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ngd {
+
+enum class UpdateKind : uint8_t { kInsert = 0, kDelete = 1 };
+
+struct UnitUpdate {
+  UpdateKind kind;
+  NodeId src;
+  NodeId dst;
+  LabelId label;
+};
+
+struct UpdateBatch {
+  std::vector<UnitUpdate> updates;
+
+  size_t size() const { return updates.size(); }
+  bool empty() const { return updates.empty(); }
+  size_t NumInsertions() const;
+  size_t NumDeletions() const;
+};
+
+/// Applies the batch as a pending overlay on `g` (InsertEdge/DeleteEdge).
+/// Returns the first error; earlier updates stay applied. Updates that
+/// became no-ops (insert of an existing edge, delete of a missing edge)
+/// are removed from the batch so detection sees only effective updates.
+Status ApplyUpdateBatch(Graph* g, UpdateBatch* batch);
+
+struct UpdateGenOptions {
+  /// |ΔG| as a fraction of the current |E|.
+  double fraction = 0.1;
+  /// Fraction of unit updates that are insertions; γ in the paper equals
+  /// insert_fraction / (1 - insert_fraction). 0.5 keeps |G| unchanged.
+  double insert_fraction = 0.5;
+  /// Probability that an insertion attaches a freshly created node (which
+  /// clones the label and attribute shape of an existing node).
+  double new_node_prob = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Generates a random batch: deletions pick existing base edges; insertions
+/// re-wire endpoints of existing edges (same edge label, same endpoint
+/// labels) so that inserted edges plausibly trigger pattern matches, the
+/// way real graph updates do.
+UpdateBatch GenerateUpdateBatch(Graph* g, const UpdateGenOptions& opts);
+
+}  // namespace ngd
+
+#endif  // NGD_GRAPH_UPDATES_H_

@@ -1,0 +1,19 @@
+#include "graph/value.h"
+
+#include <functional>
+
+namespace ngd {
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  return "\"" + AsString() + "\"";
+}
+
+size_t Value::Hash() const {
+  if (is_int()) {
+    return std::hash<int64_t>()(AsInt()) * 0x9e3779b97f4a7c15ULL;
+  }
+  return std::hash<std::string>()(AsString()) ^ 0x5851f42d4c957f2dULL;
+}
+
+}  // namespace ngd

@@ -1,0 +1,53 @@
+// Attribute values.
+//
+// Nodes carry attribute tuples F_A(v) = (A1 = a1, ..., An = an) with
+// constants drawn from U (paper §2). ngdlib values are tagged int64 or
+// string: arithmetic and order comparisons are defined on integers only
+// (the paper's terms are integers), while =/!= also apply to strings so
+// that NGDs subsume GFD/CFD constant bindings such as w.type = "Olympic".
+
+#ifndef NGD_GRAPH_VALUE_H_
+#define NGD_GRAPH_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ngd {
+
+class Value {
+ public:
+  enum class Type : uint8_t { kInt = 0, kString = 1 };
+
+  Value() : data_(int64_t{0}) {}
+  Value(int64_t v) : data_(v) {}  // NOLINT: implicit by design
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT
+
+  Type type() const {
+    return data_.index() == 0 ? Type::kInt : Type::kString;
+  }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_string() const { return type() == Type::kString; }
+
+  /// Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  /// Requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  bool operator==(const Value& o) const { return data_ == o.data_; }
+  bool operator!=(const Value& o) const { return data_ != o.data_; }
+
+  std::string ToString() const;
+
+  /// Stable hash (for violation sets and dedup).
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, std::string> data_;
+};
+
+}  // namespace ngd
+
+#endif  // NGD_GRAPH_VALUE_H_

@@ -1,0 +1,28 @@
+#include "match/candidate_index.h"
+
+namespace ngd {
+
+size_t CandidateCount(const Graph& g, LabelId label) {
+  if (label == kWildcardLabel) return g.NumNodes();
+  return g.NodesWithLabel(label).size();
+}
+
+int ChooseStartNode(const Pattern& pattern, const Graph& g) {
+  int best = 0;
+  size_t best_count = static_cast<size_t>(-1);
+  for (size_t i = 0; i < pattern.NumNodes(); ++i) {
+    size_t c = CandidateCount(g, pattern.node(static_cast<int>(i)).label);
+    // Prefer selective labels; among ties prefer higher pattern degree
+    // (more immediate edge constraints).
+    if (c < best_count ||
+        (c == best_count &&
+         pattern.Adjacency(static_cast<int>(i)).size() >
+             pattern.Adjacency(best).size())) {
+      best = static_cast<int>(i);
+      best_count = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ngd

@@ -1,0 +1,38 @@
+// Candidate selection C(u) for pattern nodes (Matchn step 1, paper §6.2).
+//
+// Candidates are label-indexed: a pattern node labelled l can only match
+// graph nodes labelled l; the wildcard '_' matches every node. The start
+// node of a batch search is chosen to minimize |C(u)| (selectivity).
+
+#ifndef NGD_MATCH_CANDIDATE_INDEX_H_
+#define NGD_MATCH_CANDIDATE_INDEX_H_
+
+#include "core/pattern.h"
+#include "graph/graph.h"
+
+namespace ngd {
+
+/// True iff graph node v can match a pattern node with label `label`.
+inline bool NodeMatchesLabel(const Graph& g, NodeId v, LabelId label) {
+  return label == kWildcardLabel || g.NodeLabel(v) == label;
+}
+
+/// |C(u)| for a pattern-node label.
+size_t CandidateCount(const Graph& g, LabelId label);
+
+/// Invokes fn(NodeId) for every candidate of `label`.
+template <typename Fn>
+void ForEachCandidate(const Graph& g, LabelId label, Fn&& fn) {
+  if (label == kWildcardLabel) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) fn(v);
+    return;
+  }
+  for (NodeId v : g.NodesWithLabel(label)) fn(v);
+}
+
+/// The pattern node with the fewest candidates in g (batch search start).
+int ChooseStartNode(const Pattern& pattern, const Graph& g);
+
+}  // namespace ngd
+
+#endif  // NGD_MATCH_CANDIDATE_INDEX_H_

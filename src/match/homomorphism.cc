@@ -1,0 +1,162 @@
+#include "match/homomorphism.h"
+
+#include <cassert>
+
+namespace ngd {
+
+namespace {
+
+/// Literal bookkeeping carried down the recursion (by value: cheap, and
+/// backtracking restores it for free).
+struct LiteralState {
+  bool y_false = false;     ///< some bound Y literal is false
+  size_t y_ready = 0;       ///< number of Y literals bound so far
+};
+
+enum class StepOutcome : uint8_t { kContinue, kPrune, kStop };
+
+/// Evaluates the literals that became ready; decides pruning.
+StepOutcome EvalReadyLiterals(const SearchConfig& cfg,
+                              const std::vector<int>& ready_x,
+                              const std::vector<int>& ready_y,
+                              const Binding& binding, LiteralState* ls) {
+  if (!cfg.find_violations) return StepOutcome::kContinue;
+  for (int i : ready_x) {
+    Truth t = (*cfg.x)[i].Evaluate(*cfg.graph, binding);
+    assert(t != Truth::kNotReady);
+    if (t == Truth::kFalse) return StepOutcome::kPrune;  // h ̸|= X forever
+  }
+  for (int i : ready_y) {
+    Truth t = (*cfg.y)[i].Evaluate(*cfg.graph, binding);
+    assert(t != Truth::kNotReady);
+    ++ls->y_ready;
+    if (t == Truth::kFalse) ls->y_false = true;
+  }
+  if (!ls->y_false && ls->y_ready == cfg.y->size()) {
+    // All Y literals bound and true: every extension satisfies Y.
+    return StepOutcome::kPrune;
+  }
+  return StepOutcome::kContinue;
+}
+
+bool Expand(const SearchConfig& cfg, const MatchPlan& plan, size_t step_idx,
+            Binding* binding, LiteralState ls,
+            const MatchCallback& callback) {
+  if (step_idx == plan.steps.size()) {
+    // Full match. In violation mode the literal pruning above guarantees
+    // X is satisfied and Y is not (y_false), except for the empty-Y
+    // degenerate case which can never be violated.
+    return callback(*binding);
+  }
+  const ExpansionStep& step = plan.steps[step_idx];
+  const Pattern& pattern = *cfg.pattern;
+  const Graph& g = *cfg.graph;
+  const PatternEdge& anchor_edge = pattern.edge(step.anchor_edge);
+  const NodeId anchor = (*binding)[step.anchor_node];
+  const LabelId want_label = pattern.node(step.node).label;
+
+  const auto& adj = step.anchor_out ? g.OutEdges(anchor) : g.InEdges(anchor);
+  for (const AdjEntry& e : adj) {
+    if (e.label != anchor_edge.label) continue;
+    if (!EdgeInView(e.state, cfg.view)) continue;
+    const NodeId cand = e.other;
+    if (!NodeMatchesLabel(g, cand, want_label)) continue;
+    if (cfg.node_scope != nullptr && !cfg.node_scope->Contains(cand)) {
+      continue;
+    }
+    if (cfg.edge_filter != nullptr) {
+      const NodeId src = step.anchor_out ? anchor : cand;
+      const NodeId dst = step.anchor_out ? cand : anchor;
+      if (!cfg.edge_filter->Admit(step.anchor_edge, src, dst, e.label)) {
+        continue;
+      }
+    }
+    // Verify the remaining pattern edges into the matched prefix.
+    bool ok = true;
+    for (int ce : step.check_edges) {
+      const PatternEdge& pe = pattern.edge(ce);
+      const NodeId s = pe.src == step.node ? cand : (*binding)[pe.src];
+      const NodeId d = pe.dst == step.node ? cand : (*binding)[pe.dst];
+      if (!g.HasEdge(s, d, pe.label, cfg.view) ||
+          (cfg.edge_filter != nullptr &&
+           !cfg.edge_filter->Admit(ce, s, d, pe.label))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    (*binding)[step.node] = cand;
+    LiteralState child = ls;
+    StepOutcome out =
+        EvalReadyLiterals(cfg, step.ready_x, step.ready_y, *binding, &child);
+    if (out == StepOutcome::kContinue) {
+      if (!Expand(cfg, plan, step_idx + 1, binding, child, callback)) {
+        (*binding)[step.node] = kInvalidNode;
+        return false;
+      }
+    }
+    (*binding)[step.node] = kInvalidNode;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RunSeededSearch(const SearchConfig& config, const MatchPlan& plan,
+                     Binding* binding, const MatchCallback& callback) {
+  assert(config.graph != nullptr && config.pattern != nullptr);
+  assert(!config.find_violations ||
+         (config.x != nullptr && config.y != nullptr));
+  const Graph& g = *config.graph;
+
+  // Seeds must satisfy labels and scope.
+  for (int s : plan.seeds) {
+    const NodeId v = (*binding)[s];
+    assert(v != kInvalidNode);
+    if (!NodeMatchesLabel(g, v, config.pattern->node(s).label)) return true;
+    if (config.node_scope != nullptr && !config.node_scope->Contains(v)) {
+      return true;
+    }
+  }
+  // Seed-internal edges.
+  for (int ce : plan.seed_check_edges) {
+    const PatternEdge& pe = config.pattern->edge(ce);
+    const NodeId s = (*binding)[pe.src];
+    const NodeId d = (*binding)[pe.dst];
+    if (!g.HasEdge(s, d, pe.label, config.view)) return true;
+    if (config.edge_filter != nullptr &&
+        !config.edge_filter->Admit(ce, s, d, pe.label)) {
+      return true;
+    }
+  }
+  LiteralState ls;
+  StepOutcome out = EvalReadyLiterals(config, plan.seed_ready_x,
+                                      plan.seed_ready_y, *binding, &ls);
+  if (out == StepOutcome::kPrune) return true;
+  return Expand(config, plan, 0, binding, ls, callback);
+}
+
+bool RunBatchSearch(const SearchConfig& config,
+                    const MatchCallback& callback) {
+  assert(config.graph != nullptr && config.pattern != nullptr);
+  const Pattern& pattern = *config.pattern;
+  const int start = ChooseStartNode(pattern, *config.graph);
+  const MatchPlan plan =
+      BuildMatchPlan(pattern, {start}, config.x, config.y);
+  Binding binding(pattern.NumNodes(), kInvalidNode);
+  bool keep_going = true;
+  ForEachCandidate(*config.graph, pattern.node(start).label,
+                   [&](NodeId v) {
+                     if (!keep_going) return;
+                     binding[start] = v;
+                     if (!RunSeededSearch(config, plan, &binding,
+                                          callback)) {
+                       keep_going = false;
+                     }
+                     binding[start] = kInvalidNode;
+                   });
+  return keep_going;
+}
+
+}  // namespace ngd

@@ -1,0 +1,71 @@
+// The Matchn / SubMatchn homomorphism search engine (paper §6.2).
+//
+// A single recursive engine serves all four detection algorithms:
+//   - Dect/PDect seed it with one candidate of the most selective pattern
+//     node and let it expand;
+//   - IncDect/PIncDect seed it with an update pivot h(u,u') = (v,v') and
+//     drive the expansion from the update (update-driven evaluation), with
+//     an EdgeFilter enforcing the ΔVio+/ΔVio- view discipline and the
+//     minimal-pivot duplicate suppression.
+//
+// The engine prunes with literals (paper §6.2 step (3)) soundly:
+//   - any fully-bound X literal evaluating false prunes the branch (no
+//     extension can satisfy X, hence none can violate X → Y);
+//   - once ALL Y literals are bound and true the branch is pruned (every
+//     extension satisfies Y, hence none violates).
+// Callbacks receive full matches h(x̄) that are violations (X true, Y not
+// all true), or every match when find_violations is off.
+
+#ifndef NGD_MATCH_HOMOMORPHISM_H_
+#define NGD_MATCH_HOMOMORPHISM_H_
+
+#include <functional>
+
+#include "core/ngd.h"
+#include "graph/neighborhood.h"
+#include "match/candidate_index.h"
+#include "match/match_order.h"
+
+namespace ngd {
+
+/// Per-edge admissibility hook. Incremental detection uses it to (a) keep
+/// ΔVio+ searches off update edges with smaller indices than the pivot
+/// (duplicate avoidance across pivots) and (b) keep ΔVio- searches off
+/// inserted edges / ΔVio+ searches off deleted edges.
+class EdgeFilter {
+ public:
+  virtual ~EdgeFilter() = default;
+  virtual bool Admit(int pattern_edge, NodeId src, NodeId dst,
+                     LabelId label) const = 0;
+};
+
+/// Return false to abort the entire search (early-exit validation).
+using MatchCallback = std::function<bool(const Binding&)>;
+
+struct SearchConfig {
+  const Graph* graph = nullptr;
+  const Pattern* pattern = nullptr;
+  const std::vector<Literal>* x = nullptr;
+  const std::vector<Literal>* y = nullptr;
+  GraphView view = GraphView::kNew;
+  const EdgeFilter* edge_filter = nullptr;   ///< optional
+  const NodeSet* node_scope = nullptr;       ///< optional candidate scope
+  /// true: emit only violations (X true, Y violated), with literal
+  /// pruning; false: emit every match of the pattern.
+  bool find_violations = true;
+};
+
+/// Runs the plan from pre-seeded `binding` (plan.seeds already bound).
+/// Verifies seed edges/literals first. Returns false iff a callback
+/// requested stop.
+bool RunSeededSearch(const SearchConfig& config, const MatchPlan& plan,
+                     Binding* binding, const MatchCallback& callback);
+
+/// Full batch search for one NGD: picks the most selective start node,
+/// iterates its candidates, expands each. Returns false iff stopped.
+bool RunBatchSearch(const SearchConfig& config,
+                    const MatchCallback& callback);
+
+}  // namespace ngd
+
+#endif  // NGD_MATCH_HOMOMORPHISM_H_

@@ -1,0 +1,119 @@
+#include "match/match_order.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ngd {
+
+namespace {
+
+/// Literal indices whose variables are all in `bound` but were not all in
+/// `bound` before `newly` was added.
+std::vector<int> NewlyReady(const std::vector<Literal>* lits,
+                            const std::vector<char>& bound, int newly) {
+  std::vector<int> ready;
+  if (lits == nullptr) return ready;
+  for (size_t i = 0; i < lits->size(); ++i) {
+    std::vector<int> vars;
+    (*lits)[i].CollectVars(&vars);
+    bool all_bound = true;
+    bool uses_newly = newly < 0;  // seed phase: any fully-bound literal
+    for (int v : vars) {
+      if (!bound[v]) all_bound = false;
+      if (v == newly) uses_newly = true;
+    }
+    // Variable-free literals are handled in the seed phase only.
+    if (vars.empty()) uses_newly = newly < 0;
+    if (all_bound && uses_newly) ready.push_back(static_cast<int>(i));
+  }
+  return ready;
+}
+
+}  // namespace
+
+MatchPlan BuildMatchPlan(const Pattern& pattern, std::vector<int> seeds,
+                         const std::vector<Literal>* x,
+                         const std::vector<Literal>* y) {
+  assert(!seeds.empty());
+  MatchPlan plan;
+  plan.seeds = seeds;
+
+  const size_t n = pattern.NumNodes();
+  std::vector<char> bound(n, 0);
+  for (int s : seeds) bound[s] = 1;
+
+  // Pattern edges with both endpoints seeded must be verified up front
+  // (e.g. a pivot edge plus a parallel edge between the same endpoints).
+  std::vector<char> edge_used(pattern.NumEdges(), 0);
+  for (size_t e = 0; e < pattern.NumEdges(); ++e) {
+    const PatternEdge& pe = pattern.edge(static_cast<int>(e));
+    if (bound[pe.src] && bound[pe.dst]) {
+      plan.seed_check_edges.push_back(static_cast<int>(e));
+      edge_used[e] = 1;
+    }
+  }
+  plan.seed_ready_x = NewlyReady(x, bound, -1);
+  plan.seed_ready_y = NewlyReady(y, bound, -1);
+
+  // Greedy connected order: repeatedly pick the unmatched node adjacent to
+  // the bound prefix with (a) the most edges into the prefix (maximum
+  // pruning), (b) a concrete label over a wildcard, (c) lowest index.
+  size_t remaining = 0;
+  for (size_t i = 0; i < n; ++i) remaining += bound[i] ? 0 : 1;
+
+  while (remaining > 0) {
+    int best = -1;
+    int best_edges = -1;
+    bool best_concrete = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (bound[i]) continue;
+      int edges_to_prefix = 0;
+      for (const auto& adj : pattern.Adjacency(static_cast<int>(i))) {
+        if (bound[adj.other]) ++edges_to_prefix;
+      }
+      if (edges_to_prefix == 0) continue;  // not yet connected
+      bool concrete =
+          pattern.node(static_cast<int>(i)).label != kWildcardLabel;
+      if (edges_to_prefix > best_edges ||
+          (edges_to_prefix == best_edges && concrete && !best_concrete)) {
+        best = static_cast<int>(i);
+        best_edges = edges_to_prefix;
+        best_concrete = concrete;
+      }
+    }
+    assert(best >= 0 && "pattern must be connected to the seeds");
+
+    ExpansionStep step;
+    step.node = best;
+    for (const auto& adj : pattern.Adjacency(best)) {
+      if (!bound[adj.other] && adj.other != best) continue;
+      if (edge_used[adj.edge_index]) continue;
+      if (step.anchor_edge < 0 && adj.other != best) {
+        step.anchor_node = adj.other;
+        step.anchor_edge = adj.edge_index;
+        // adj.out is from `best`'s perspective: best -> other. The anchor
+        // scans from `other`, so the anchor's outgoing direction is the
+        // reverse.
+        step.anchor_out = !adj.out;
+      } else {
+        step.check_edges.push_back(adj.edge_index);
+      }
+      edge_used[adj.edge_index] = 1;
+    }
+    // Self-loop edges on `best` appear twice in its adjacency; dedup.
+    std::sort(step.check_edges.begin(), step.check_edges.end());
+    step.check_edges.erase(
+        std::unique(step.check_edges.begin(), step.check_edges.end()),
+        step.check_edges.end());
+    assert(step.anchor_edge >= 0);
+
+    bound[best] = 1;
+    --remaining;
+    step.ready_x = NewlyReady(x, bound, best);
+    step.ready_y = NewlyReady(y, bound, best);
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+}  // namespace ngd

@@ -1,0 +1,57 @@
+// Matching-order planning (the SubMatchn "matching order selection" of
+// paper §6.2).
+//
+// Given a pattern and a set of pre-matched seed nodes (one node for batch
+// search; the two endpoints of an update pivot for incremental search), a
+// MatchPlan fixes the order in which the remaining pattern nodes are
+// matched. Each ExpansionStep records:
+//   - the anchor: an already-matched neighbor whose graph adjacency is
+//     scanned for candidates (data locality — candidates never come from
+//     a global scan once seeded);
+//   - the remaining pattern edges to the matched prefix that must be
+//     verified;
+//   - which X / Y literals become fully bound ("ready") at this step, for
+//     sound literal-based pruning (paper §6.2 step (3)).
+
+#ifndef NGD_MATCH_MATCH_ORDER_H_
+#define NGD_MATCH_MATCH_ORDER_H_
+
+#include <vector>
+
+#include "core/literal.h"
+#include "core/pattern.h"
+
+namespace ngd {
+
+struct ExpansionStep {
+  int node = -1;         ///< pattern node matched at this step
+  int anchor_node = -1;  ///< previously matched pattern node
+  int anchor_edge = -1;  ///< pattern edge index anchor<->node
+  bool anchor_out = false;  ///< true: anchor -> node
+  /// Pattern edge indices (between `node` and the matched prefix, or
+  /// self-loops on `node`) verified after candidate selection, anchor edge
+  /// excluded.
+  std::vector<int> check_edges;
+  std::vector<int> ready_x;  ///< X-literal indices becoming bound here
+  std::vector<int> ready_y;  ///< Y-literal indices becoming bound here
+};
+
+struct MatchPlan {
+  std::vector<int> seeds;  ///< pre-matched pattern nodes
+  /// Pattern edges among the seeds themselves (verified before expansion).
+  std::vector<int> seed_check_edges;
+  std::vector<int> seed_ready_x;
+  std::vector<int> seed_ready_y;
+  std::vector<ExpansionStep> steps;
+};
+
+/// Builds a connected expansion order covering all pattern nodes from the
+/// given seeds. x/y may be null when literal pruning is not wanted.
+/// Requires: pattern connected, seeds non-empty.
+MatchPlan BuildMatchPlan(const Pattern& pattern, std::vector<int> seeds,
+                         const std::vector<Literal>* x,
+                         const std::vector<Literal>* y);
+
+}  // namespace ngd
+
+#endif  // NGD_MATCH_MATCH_ORDER_H_

@@ -1,0 +1,7 @@
+#include "parallel/cluster.h"
+
+// WorkQueue is header-only; ClusterMetrics is an aggregate. This TU exists
+// so the ngd_parallel library always has at least the runtime symbols the
+// linker expects when templates are not instantiated elsewhere.
+
+namespace ngd {}  // namespace ngd

@@ -1,0 +1,79 @@
+// Simulated cluster runtime for the parallel detection algorithms.
+//
+// The paper runs on up to 20 machines exchanging messages; ngdlib
+// simulates p processors with p worker threads, per-worker work-unit
+// deques (BVio_i), and explicit communication accounting. The knobs the
+// paper studies — latency constant C (Fig 4(m)) and balancing interval
+// intvl (Fig 4(n)) — are first-class here: C steers the split/local
+// decision in the cost model, intvl the balancer's wake-up period.
+
+#ifndef NGD_PARALLEL_CLUSTER_H_
+#define NGD_PARALLEL_CLUSTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace ngd {
+
+/// Communication / balancing counters (all simulated-message based).
+struct ClusterMetrics {
+  std::atomic<uint64_t> messages{0};        ///< simulated messages sent
+  std::atomic<uint64_t> replicated_nodes{0};///< N_C replication volume
+  std::atomic<uint64_t> work_units{0};      ///< units processed
+  std::atomic<uint64_t> splits{0};          ///< hybrid splits performed
+  std::atomic<uint64_t> balance_moves{0};   ///< units moved by balancer
+};
+
+/// A mutex-guarded deque of work units. Owners push/pop at the back
+/// (depth-first locality); the balancer harvests from the front (the
+/// shallowest, largest-subtree units travel best).
+template <typename T>
+class WorkQueue {
+ public:
+  void Push(T unit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(std::move(unit));
+  }
+
+  void PushMany(std::vector<T>&& units) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& u : units) items_.push_back(std::move(u));
+  }
+
+  bool TryPopBack(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.back());
+    items_.pop_back();
+    return true;
+  }
+
+  /// Harvests up to `max_units` from the front (balancer side).
+  std::vector<T> HarvestFront(size_t max_units) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> out;
+    size_t take = std::min(max_units, items_.size());
+    out.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace ngd
+
+#endif  // NGD_PARALLEL_CLUSTER_H_

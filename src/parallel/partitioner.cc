@@ -1,0 +1,56 @@
+#include "parallel/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ngd {
+
+PartitionResult PartitionGraph(const Graph& g, int p) {
+  assert(p >= 1);
+  PartitionResult result;
+  const size_t n = g.NumNodes();
+  result.fragment_of.assign(n, -1);
+  result.fragment_sizes.assign(p, 0);
+  const double capacity =
+      static_cast<double>(n) / p + 1.0;  // slack keeps placement feasible
+
+  std::vector<double> score(p);
+  for (NodeId v = 0; v < n; ++v) {
+    std::fill(score.begin(), score.end(), 0.0);
+    auto tally = [&](const AdjEntry& e) {
+      if (!EdgeInView(e.state, GraphView::kNew)) return;
+      if (e.other < v && result.fragment_of[e.other] >= 0) {
+        score[result.fragment_of[e.other]] += 1.0;
+      }
+    };
+    for (const auto& e : g.OutEdges(v)) tally(e);
+    for (const auto& e : g.InEdges(v)) tally(e);
+
+    int best = 0;
+    double best_score = -1.0;
+    for (int f = 0; f < p; ++f) {
+      double penalty =
+          1.0 - static_cast<double>(result.fragment_sizes[f]) / capacity;
+      if (penalty <= 0.0) continue;  // fragment full
+      double s = (score[f] + 0.01) * penalty;  // +eps: ties by capacity
+      if (s > best_score) {
+        best_score = s;
+        best = f;
+      }
+    }
+    result.fragment_of[v] = best;
+    ++result.fragment_sizes[best];
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& e : g.OutEdges(v)) {
+      if (!EdgeInView(e.state, GraphView::kNew)) continue;
+      if (result.fragment_of[v] != result.fragment_of[e.other]) {
+        ++result.crossing_edges;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ngd

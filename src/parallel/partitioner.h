@@ -1,0 +1,31 @@
+// Streaming edge-cut graph partitioner (the METIS stand-in, DESIGN.md §3).
+//
+// PIncDect/PDect work on a graph fragmented across p processors (paper §7
+// fragments with METIS). The algorithms only depend on fragment locality
+// — which nodes are co-resident and how many edges cross fragments — so a
+// balanced streaming partitioner preserves their behaviour. We implement
+// Linear Deterministic Greedy (LDG): nodes are streamed in id order and
+// placed in the fragment holding most of their already-placed neighbors,
+// weighted by remaining capacity.
+
+#ifndef NGD_PARALLEL_PARTITIONER_H_
+#define NGD_PARALLEL_PARTITIONER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ngd {
+
+struct PartitionResult {
+  std::vector<int> fragment_of;  ///< node id -> fragment [0, p)
+  std::vector<size_t> fragment_sizes;
+  size_t crossing_edges = 0;  ///< edges with endpoints in two fragments
+};
+
+/// Partitions nodes of `g` (kNew view) into `p` balanced fragments.
+PartitionResult PartitionGraph(const Graph& g, int p);
+
+}  // namespace ngd
+
+#endif  // NGD_PARALLEL_PARTITIONER_H_

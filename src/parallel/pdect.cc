@@ -1,0 +1,75 @@
+#include "parallel/pdect.h"
+
+#include <thread>
+
+#include "util/timer.h"
+
+namespace ngd {
+
+PDectResult PDect(const Graph& g, const NgdSet& sigma,
+                  const PDectOptions& opts) {
+  WallTimer timer;
+  const int p = std::max(1, opts.num_processors);
+  PartitionResult partition = PartitionGraph(g, p);
+
+  // Static seed assignment: per NGD, candidates of the start node go to
+  // the processor owning their fragment.
+  struct Seed {
+    int ngd_index;
+    int start;
+    NodeId node;
+  };
+  std::vector<std::vector<Seed>> assigned(p);
+  std::vector<int> start_of(sigma.size());
+  for (size_t f = 0; f < sigma.size(); ++f) {
+    const Pattern& pattern = sigma[f].pattern();
+    const int start = ChooseStartNode(pattern, g);
+    start_of[f] = start;
+    ForEachCandidate(g, pattern.node(start).label, [&](NodeId v) {
+      assigned[partition.fragment_of[v]].push_back(
+          Seed{static_cast<int>(f), start, v});
+    });
+  }
+
+  // Pre-build one plan per NGD (shared, read-only).
+  std::vector<MatchPlan> plans;
+  plans.reserve(sigma.size());
+  for (size_t f = 0; f < sigma.size(); ++f) {
+    plans.push_back(BuildMatchPlan(sigma[f].pattern(), {start_of[f]},
+                                   &sigma[f].X(), &sigma[f].Y()));
+  }
+
+  std::vector<VioSet> local(p);
+  std::vector<std::thread> workers;
+  workers.reserve(p);
+  for (int i = 0; i < p; ++i) {
+    workers.emplace_back([&, i]() {
+      for (const Seed& seed : assigned[i]) {
+        const Ngd& ngd = sigma[seed.ngd_index];
+        SearchConfig cfg;
+        cfg.graph = &g;
+        cfg.pattern = &ngd.pattern();
+        cfg.x = &ngd.X();
+        cfg.y = &ngd.Y();
+        cfg.view = opts.view;
+        cfg.find_violations = true;
+        Binding binding(ngd.pattern().NumNodes(), kInvalidNode);
+        binding[seed.start] = seed.node;
+        RunSeededSearch(cfg, plans[seed.ngd_index], &binding,
+                        [&](const Binding& match) {
+                          local[i].Add(Violation{seed.ngd_index, match});
+                          return true;
+                        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  PDectResult result;
+  for (int i = 0; i < p; ++i) result.vio.Merge(std::move(local[i]));
+  result.crossing_edges = partition.crossing_edges;
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ngd

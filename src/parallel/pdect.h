@@ -1,0 +1,35 @@
+// PDect: parallel batch detection (the baseline of paper §5.1 / §7,
+// extended from the GFD algorithms of Fan-Wu-Xu SIGMOD'16 [24]).
+//
+// Seeds (candidates of each NGD's most selective pattern node) are
+// STATICALLY assigned to processors by the fragment of the seed node —
+// faithfully reproducing the static workload partitioning that the paper
+// points out "hampers the parallel scalability of the batch algorithms
+// when being incrementalized" (§5.2). Each processor expands its seeds
+// recursively and the local violation sets are unioned.
+
+#ifndef NGD_PARALLEL_PDECT_H_
+#define NGD_PARALLEL_PDECT_H_
+
+#include "detect/dect.h"
+#include "parallel/partitioner.h"
+
+namespace ngd {
+
+struct PDectOptions {
+  int num_processors = 4;
+  GraphView view = GraphView::kNew;
+};
+
+struct PDectResult {
+  VioSet vio;
+  double elapsed_seconds = 0.0;
+  size_t crossing_edges = 0;  ///< edge-cut of the fragmentation used
+};
+
+PDectResult PDect(const Graph& g, const NgdSet& sigma,
+                  const PDectOptions& opts);
+
+}  // namespace ngd
+
+#endif  // NGD_PARALLEL_PDECT_H_

@@ -1,0 +1,372 @@
+#include "parallel/pinc_dect.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+#include "graph/neighborhood.h"
+#include "util/timer.h"
+
+namespace ngd {
+
+namespace {
+
+class PIncDectEngine {
+ public:
+  PIncDectEngine(const Graph& g, const NgdSet& sigma,
+                 const UpdateBatch& batch, const PIncDectOptions& opts)
+      : g_(g),
+        sigma_(sigma),
+        opts_(opts),
+        p_(std::max(1, opts.num_processors)),
+        index_(g, batch),
+        nc_(0),
+        queues_(p_),
+        local_added_(p_),
+        local_removed_(p_) {}
+
+  StatusOr<PIncDectResult> Run() {
+    NGD_RETURN_IF_ERROR(ValidateForIncremental(sigma_));
+    WallTimer timer;
+
+    // Step 1: pivots.
+    std::vector<PivotTask> tasks = EnumeratePivotTasks(g_, sigma_, index_);
+
+    // Step 2: candidate neighborhood N_C(ΔG, Σ) = union of d_Σ-balls
+    // around update endpoints, over the union of both views (safe for
+    // ΔVio+ and ΔVio- searches alike), replicated at all processors.
+    std::vector<NodeId> seeds;
+    for (const auto& u : index_.updates()) {
+      seeds.push_back(u.edge.src);
+      seeds.push_back(u.edge.dst);
+    }
+    const int d_sigma = sigma_.MaxDiameter();
+    NodeSet ball_old = DHopNeighborhood(g_, seeds, d_sigma, GraphView::kOld);
+    nc_ = DHopNeighborhood(g_, seeds, d_sigma, GraphView::kNew);
+    for (NodeId v : ball_old.members()) nc_.Add(v);
+    metrics_.replicated_nodes +=
+        static_cast<uint64_t>(nc_.size()) * (p_ > 1 ? p_ - 1 : 0);
+    metrics_.messages += p_ > 1 ? p_ : 0;  // one broadcast round
+
+    // Plans per (NGD, pattern edge).
+    for (const PivotTask& t : tasks) {
+      int64_t key = PlanKey(t.ngd_index, t.pattern_edge);
+      if (plans_.count(key) > 0) continue;
+      const Ngd& ngd = sigma_[t.ngd_index];
+      const PatternEdge& pe = ngd.pattern().edge(t.pattern_edge);
+      std::vector<int> plan_seeds{pe.src};
+      if (pe.dst != pe.src) plan_seeds.push_back(pe.dst);
+      plans_.emplace(key, BuildMatchPlan(ngd.pattern(), std::move(plan_seeds),
+                                         &ngd.X(), &ngd.Y()));
+    }
+
+    // Step 3: evenly partition the pivots across BVio_i.
+    {
+      size_t i = 0;
+      for (const PivotTask& t : tasks) {
+        const Ngd& ngd = sigma_[t.ngd_index];
+        const EffectiveUpdate& u = index_.updates()[t.update_index];
+        const PatternEdge& pe = ngd.pattern().edge(t.pattern_edge);
+        PWorkUnit unit;
+        unit.ngd_index = t.ngd_index;
+        unit.pattern_edge = t.pattern_edge;
+        unit.update_index = t.update_index;
+        unit.depth = 0;
+        unit.binding.assign(ngd.pattern().NumNodes(), kInvalidNode);
+        unit.binding[pe.src] = u.edge.src;
+        unit.binding[pe.dst] = u.edge.dst;
+        in_flight_.fetch_add(1, std::memory_order_relaxed);
+        queues_[i % p_].Push(std::move(unit));
+        ++i;
+      }
+    }
+
+    // Step 4+5: workers expand; the main thread balances periodically.
+    std::vector<std::thread> workers;
+    workers.reserve(p_);
+    for (int i = 0; i < p_; ++i) {
+      workers.emplace_back([this, i]() { WorkerLoop(i); });
+    }
+    BalancerLoop();
+    done_.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+
+    PIncDectResult result;
+    for (int i = 0; i < p_; ++i) {
+      result.delta.added.Merge(std::move(local_added_[i]));
+      result.delta.removed.Merge(std::move(local_removed_[i]));
+    }
+    result.candidate_neighborhood_nodes = nc_.size();
+    result.messages = metrics_.messages.load();
+    result.replicated_nodes = metrics_.replicated_nodes.load();
+    result.work_units = metrics_.work_units.load();
+    result.splits = metrics_.splits.load();
+    result.balance_moves = metrics_.balance_moves.load();
+    result.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  static int64_t PlanKey(int ngd_index, int pattern_edge) {
+    return (static_cast<int64_t>(ngd_index) << 32) |
+           static_cast<uint32_t>(pattern_edge);
+  }
+
+  void WorkerLoop(int worker) {
+    while (true) {
+      PWorkUnit unit;
+      if (queues_[worker].TryPopBack(&unit)) {
+        ProcessUnit(worker, unit);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      if (done_.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  void BalancerLoop() {
+    using namespace std::chrono;
+    auto last_balance = steady_clock::now();
+    while (in_flight_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(microseconds(200));
+      if (!opts_.enable_balance) continue;
+      auto now = steady_clock::now();
+      if (duration_cast<milliseconds>(now - last_balance).count() <
+          opts_.balance_interval_ms) {
+        continue;
+      }
+      last_balance = now;
+      BalanceOnce();
+    }
+  }
+
+  void BalanceOnce() {
+    std::vector<size_t> sizes(p_);
+    for (int i = 0; i < p_; ++i) sizes[i] = queues_[i].size();
+    std::vector<double> skew = ComputeSkewness(sizes);
+    std::vector<int> receivers;
+    for (int i = 0; i < p_; ++i) {
+      if (skew[i] < opts_.receiver_threshold) receivers.push_back(i);
+    }
+    if (receivers.empty()) return;
+    for (int i = 0; i < p_; ++i) {
+      if (skew[i] <= opts_.skew_threshold) continue;
+      std::vector<PWorkUnit> moved = queues_[i].HarvestFront(sizes[i] / 2);
+      if (moved.empty()) continue;
+      metrics_.balance_moves += moved.size();
+      metrics_.messages += moved.size();
+      // Distribute round-robin over the lightly loaded processors.
+      std::vector<std::vector<PWorkUnit>> shares(receivers.size());
+      for (size_t k = 0; k < moved.size(); ++k) {
+        shares[k % receivers.size()].push_back(std::move(moved[k]));
+      }
+      for (size_t r = 0; r < receivers.size(); ++r) {
+        if (!shares[r].empty()) {
+          queues_[receivers[r]].PushMany(std::move(shares[r]));
+        }
+      }
+    }
+  }
+
+  void ProcessUnit(int worker, PWorkUnit& unit) {
+    metrics_.work_units.fetch_add(1, std::memory_order_relaxed);
+    const Ngd& ngd = sigma_[unit.ngd_index];
+    const Pattern& pattern = ngd.pattern();
+    const MatchPlan& plan =
+        plans_.at(PlanKey(unit.ngd_index, unit.pattern_edge));
+    const EffectiveUpdate& u = index_.updates()[unit.update_index];
+    const GraphView view =
+        u.kind == UpdateKind::kInsert ? GraphView::kNew : GraphView::kOld;
+    PivotEdgeFilter filter(&index_, u.kind, unit.update_index);
+
+    // Seed validation for fresh pivot units (split/child units have
+    // already passed it).
+    if (unit.depth == 0 && unit.slice_begin < 0) {
+      if (!ValidateSeeds(plan, pattern, unit, view, filter)) return;
+    }
+    ExpandUnit(worker, unit, plan, pattern, ngd, u.kind, view, filter);
+  }
+
+  bool ValidateSeeds(const MatchPlan& plan, const Pattern& pattern,
+                     PWorkUnit& unit, GraphView view,
+                     const PivotEdgeFilter& filter) {
+    for (int s : plan.seeds) {
+      const NodeId v = unit.binding[s];
+      if (!NodeMatchesLabel(g_, v, pattern.node(s).label)) return false;
+      if (!nc_.Contains(v)) return false;
+    }
+    for (int ce : plan.seed_check_edges) {
+      const PatternEdge& pe = pattern.edge(ce);
+      const NodeId s = unit.binding[pe.src];
+      const NodeId d = unit.binding[pe.dst];
+      if (!g_.HasEdge(s, d, pe.label, view)) return false;
+      if (!filter.Admit(ce, s, d, pe.label)) return false;
+    }
+    const Ngd& ngd = sigma_[unit.ngd_index];
+    for (int i : plan.seed_ready_x) {
+      if (ngd.X()[i].Evaluate(g_, unit.binding) == Truth::kFalse) {
+        return false;
+      }
+    }
+    for (int i : plan.seed_ready_y) {
+      ++unit.y_ready;
+      if (ngd.Y()[i].Evaluate(g_, unit.binding) == Truth::kFalse) {
+        unit.y_false = true;
+      }
+    }
+    if (!unit.y_false && unit.y_ready == ngd.Y().size()) return false;
+    return true;
+  }
+
+  void ExpandUnit(int worker, PWorkUnit& unit, const MatchPlan& plan,
+                  const Pattern& pattern, const Ngd& ngd, UpdateKind kind,
+                  GraphView view, const PivotEdgeFilter& filter) {
+    if (static_cast<size_t>(unit.depth) == plan.steps.size()) {
+      EmitIfCanonical(worker, unit, pattern, kind);
+      return;
+    }
+    const ExpansionStep& step = plan.steps[unit.depth];
+    const PatternEdge& anchor_edge = pattern.edge(step.anchor_edge);
+    const NodeId anchor = unit.binding[step.anchor_node];
+    const auto& adj =
+        step.anchor_out ? g_.OutEdges(anchor) : g_.InEdges(anchor);
+
+    size_t begin = 0;
+    size_t end = adj.size();
+    if (unit.slice_begin >= 0) {
+      begin = static_cast<size_t>(unit.slice_begin);
+      end = std::min(static_cast<size_t>(unit.slice_end), adj.size());
+    } else if (opts_.enable_split && p_ > 1 &&
+               adj.size() >= opts_.min_split_adjacency) {
+      // Hybrid cost model: sequential |adj| vs C·(k+1) + |adj|/p, where k
+      // is the number of already-matched pattern nodes.
+      const double k = static_cast<double>(plan.seeds.size() + unit.depth);
+      const double seq_cost = static_cast<double>(adj.size());
+      const double par_cost =
+          opts_.latency_c * (k + 1.0) +
+          static_cast<double>(adj.size()) / static_cast<double>(p_);
+      if (par_cost < seq_cost) {
+        SplitUnit(unit, adj.size());
+        return;
+      }
+    }
+
+    const LabelId want_label = pattern.node(step.node).label;
+    for (size_t idx = begin; idx < end; ++idx) {
+      const AdjEntry& e = adj[idx];
+      if (e.label != anchor_edge.label) continue;
+      if (!EdgeInView(e.state, view)) continue;
+      const NodeId cand = e.other;
+      if (!NodeMatchesLabel(g_, cand, want_label)) continue;
+      if (!nc_.Contains(cand)) continue;
+      {
+        const NodeId src = step.anchor_out ? anchor : cand;
+        const NodeId dst = step.anchor_out ? cand : anchor;
+        if (!filter.Admit(step.anchor_edge, src, dst, e.label)) continue;
+      }
+      bool ok = true;
+      for (int ce : step.check_edges) {
+        const PatternEdge& pe = pattern.edge(ce);
+        const NodeId s = pe.src == step.node ? cand : unit.binding[pe.src];
+        const NodeId d = pe.dst == step.node ? cand : unit.binding[pe.dst];
+        if (!g_.HasEdge(s, d, pe.label, view) ||
+            !filter.Admit(ce, s, d, pe.label)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+
+      PWorkUnit child;
+      child.ngd_index = unit.ngd_index;
+      child.pattern_edge = unit.pattern_edge;
+      child.update_index = unit.update_index;
+      child.depth = unit.depth + 1;
+      child.y_false = unit.y_false;
+      child.y_ready = unit.y_ready;
+      child.binding = unit.binding;
+      child.binding[step.node] = cand;
+
+      bool prune = false;
+      for (int i : step.ready_x) {
+        if (ngd.X()[i].Evaluate(g_, child.binding) == Truth::kFalse) {
+          prune = true;
+          break;
+        }
+      }
+      if (!prune) {
+        for (int i : step.ready_y) {
+          ++child.y_ready;
+          if (ngd.Y()[i].Evaluate(g_, child.binding) == Truth::kFalse) {
+            child.y_false = true;
+          }
+        }
+        if (!child.y_false && child.y_ready == ngd.Y().size()) prune = true;
+      }
+      if (prune) continue;
+
+      if (static_cast<size_t>(child.depth) == plan.steps.size()) {
+        EmitIfCanonical(worker, child, pattern, kind);
+      } else {
+        in_flight_.fetch_add(1, std::memory_order_relaxed);
+        queues_[worker].Push(std::move(child));
+      }
+    }
+  }
+
+  void SplitUnit(const PWorkUnit& unit, size_t adj_size) {
+    metrics_.splits.fetch_add(1, std::memory_order_relaxed);
+    metrics_.messages.fetch_add(p_, std::memory_order_relaxed);
+    const size_t chunk = (adj_size + p_ - 1) / p_;
+    for (int i = 0; i < p_; ++i) {
+      const size_t b = static_cast<size_t>(i) * chunk;
+      if (b >= adj_size) break;
+      PWorkUnit slice = unit;
+      slice.slice_begin = static_cast<int32_t>(b);
+      slice.slice_end = static_cast<int32_t>(std::min(b + chunk, adj_size));
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      queues_[i].Push(std::move(slice));
+    }
+  }
+
+  void EmitIfCanonical(int worker, const PWorkUnit& unit,
+                       const Pattern& pattern, UpdateKind kind) {
+    if (!IsCanonicalPivot(g_, pattern, unit.binding, index_, kind,
+                          unit.update_index, unit.pattern_edge)) {
+      return;
+    }
+    Violation v{unit.ngd_index, unit.binding};
+    if (kind == UpdateKind::kInsert) {
+      local_added_[worker].Add(std::move(v));
+    } else {
+      local_removed_[worker].Add(std::move(v));
+    }
+  }
+
+  const Graph& g_;
+  const NgdSet& sigma_;
+  const PIncDectOptions opts_;
+  const int p_;
+  UpdateIndex index_;
+  NodeSet nc_;
+  std::unordered_map<int64_t, MatchPlan> plans_;
+  std::vector<WorkQueue<PWorkUnit>> queues_;
+  std::vector<VioSet> local_added_;
+  std::vector<VioSet> local_removed_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> done_{false};
+  ClusterMetrics metrics_;
+};
+
+}  // namespace
+
+StatusOr<PIncDectResult> PIncDect(const Graph& g, const NgdSet& sigma,
+                                  const UpdateBatch& batch,
+                                  const PIncDectOptions& opts) {
+  PIncDectEngine engine(g, sigma, batch, opts);
+  return engine.Run();
+}
+
+}  // namespace ngd

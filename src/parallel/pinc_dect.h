@@ -1,0 +1,71 @@
+// PIncDect: parallel incremental detection, parallel scalable relative to
+// IncDect (paper §6.3, Theorem 6).
+//
+// Pipeline (mirroring Fig. 3):
+//   1. Enumerate update pivots (same PivotTask machinery as IncDect).
+//   2. Extract the candidate neighborhood N_C(ΔG, Σ) — the union of
+//      d_Σ-balls around pivot endpoints — and "replicate" it at all p
+//      processors (simulated; replication volume is metered).
+//   3. Partition the initial pivots evenly into per-processor workloads
+//      BVio_i. Adjacency lists are logically partitioned: a split work
+//      unit carries the slice [begin, end) of the anchor's adjacency that
+//      the receiving processor owns (its partial copy v.adj_i).
+//   4. Each processor expands partial solutions: candidate filtering with
+//      the HYBRID cost model — expand locally when
+//          |adj| <= C·(k+1) + |adj|/p
+//      and otherwise broadcast p slice units (work-unit splitting).
+//      Verification of the remaining pattern edges is O(1) per edge here
+//      (hash edge index), so it is never worth splitting — a documented
+//      deviation from the paper, whose verification scans adjacency lists.
+//   5. A balancer thread wakes every `intvl` ms, computes the skewness
+//      ||BVio_i|| / avg ||BVio_t||, and moves work from processors above
+//      η (= 3) to processors below η' (= 0.7).
+//
+// Ablation variants (Fig 4): PIncDect_ns (no split), PIncDect_nb (no
+// balance), PIncDect_NO (neither) are the same engine with flags off.
+
+#ifndef NGD_PARALLEL_PINC_DECT_H_
+#define NGD_PARALLEL_PINC_DECT_H_
+
+#include "detect/inc_dect.h"
+#include "parallel/cluster.h"
+#include "parallel/work_unit.h"
+
+namespace ngd {
+
+struct PIncDectOptions {
+  int num_processors = 4;
+  /// Communication-latency constant C of the cost model (paper fixes 60).
+  double latency_c = 60.0;
+  /// Balancer wake-up interval in milliseconds (paper: 45 s at cluster
+  /// scale; milliseconds at this scale — DESIGN.md §3).
+  int balance_interval_ms = 45;
+  bool enable_split = true;    ///< off = PIncDect_ns
+  bool enable_balance = true;  ///< off = PIncDect_nb
+  double skew_threshold = 3.0;      ///< η
+  double receiver_threshold = 0.7;  ///< η'
+  /// Adjacency lists shorter than this never split (guard against
+  /// degenerate splits of tiny lists).
+  size_t min_split_adjacency = 8;
+};
+
+struct PIncDectResult {
+  DeltaVio delta;
+  double elapsed_seconds = 0.0;
+  size_t candidate_neighborhood_nodes = 0;
+  uint64_t messages = 0;
+  uint64_t replicated_nodes = 0;
+  uint64_t work_units = 0;
+  uint64_t splits = 0;
+  uint64_t balance_moves = 0;
+};
+
+/// Computes ΔVio(Σ, G, ΔG) with p simulated processors. `g` must carry ΔG
+/// as its pending overlay.
+StatusOr<PIncDectResult> PIncDect(const Graph& g, const NgdSet& sigma,
+                                  const UpdateBatch& batch,
+                                  const PIncDectOptions& opts);
+
+}  // namespace ngd
+
+#endif  // NGD_PARALLEL_PINC_DECT_H_

@@ -1,0 +1,18 @@
+#include "parallel/work_unit.h"
+
+namespace ngd {
+
+std::vector<double> ComputeSkewness(const std::vector<size_t>& queue_sizes) {
+  std::vector<double> skew(queue_sizes.size(), 0.0);
+  if (queue_sizes.empty()) return skew;
+  double total = 0.0;
+  for (size_t s : queue_sizes) total += static_cast<double>(s);
+  double avg = total / static_cast<double>(queue_sizes.size());
+  if (avg <= 0.0) return skew;
+  for (size_t i = 0; i < queue_sizes.size(); ++i) {
+    skew[i] = static_cast<double>(queue_sizes[i]) / avg;
+  }
+  return skew;
+}
+
+}  // namespace ngd

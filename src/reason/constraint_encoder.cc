@@ -1,0 +1,366 @@
+#include "reason/constraint_encoder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ngd {
+
+int VarTable::IdOf(const AttrVar& key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(keys_.size());
+  keys_.push_back(key);
+  index_.emplace(key, id);
+  return id;
+}
+
+namespace {
+
+/// Rational linear form: sum(coefs[v] * x_v) + constant.
+struct RatForm {
+  std::unordered_map<int, Rational> coefs;
+  Rational constant;
+};
+
+RatForm NegateForm(const RatForm& f) {
+  RatForm out;
+  out.constant = -f.constant;
+  for (const auto& [v, c] : f.coefs) out.coefs.emplace(v, -c);
+  return out;
+}
+
+RatForm ScaleForm(const RatForm& f, const Rational& s) {
+  RatForm out;
+  out.constant = f.constant * s;
+  for (const auto& [v, c] : f.coefs) out.coefs.emplace(v, c * s);
+  return out;
+}
+
+RatForm AddForms(const RatForm& a, const RatForm& b, bool subtract) {
+  RatForm out = a;
+  out.constant = subtract ? out.constant - b.constant
+                          : out.constant + b.constant;
+  for (const auto& [v, c] : b.coefs) {
+    Rational delta = subtract ? -c : c;
+    auto it = out.coefs.find(v);
+    if (it == out.coefs.end()) {
+      out.coefs.emplace(v, delta);
+    } else {
+      it->second = it->second + delta;
+    }
+  }
+  return out;
+}
+
+/// One abs-elimination case of an expression.
+struct FormCase {
+  RatForm form;
+  /// Side conditions (form ⊗ 0) accumulated by abs elimination.
+  std::vector<std::pair<RatForm, CmpOp>> side;
+};
+
+/// Converts `form ⊗ 0` to an integer-coefficient LinConstraint by scaling
+/// with the LCM of denominators.
+LinConstraint ToConstraint(const RatForm& form, CmpOp op) {
+  int64_t lcm = form.constant.den();
+  for (const auto& [v, c] : form.coefs) {
+    (void)v;
+    lcm = std::lcm(lcm, c.den());
+  }
+  LinConstraint out;
+  out.op = op;
+  for (const auto& [v, c] : form.coefs) {
+    int64_t coef = c.num() * (lcm / c.den());
+    if (coef != 0) out.terms.push_back(LinTerm{v, coef});
+  }
+  // sum + constant*lcm ⊗ 0  =>  sum ⊗ -constant*lcm
+  out.rhs = -(form.constant.num() * (lcm / form.constant.den()));
+  return out;
+}
+
+/// Recursive abs-eliminating linearization. Requires the expression to be
+/// linear (guaranteed by Ngd::Validate).
+Status Linearize(const Expr& e, const Binding& h, VarTable* vars,
+                 std::vector<FormCase>* out) {
+  switch (e.kind()) {
+    case Expr::Kind::kIntConst: {
+      FormCase c;
+      c.form.constant = Rational(e.int_value());
+      out->push_back(std::move(c));
+      return Status::OK();
+    }
+    case Expr::Kind::kStrConst:
+      return Status::InvalidArgument(
+          "string constant inside arithmetic expression");
+    case Expr::Kind::kVarAttr: {
+      FormCase c;
+      const NodeId node = h[e.var_index()];
+      c.form.coefs.emplace(vars->IdOf(AttrVar{node, e.attr()}), Rational(1));
+      out->push_back(std::move(c));
+      return Status::OK();
+    }
+    case Expr::Kind::kNeg: {
+      std::vector<FormCase> sub;
+      NGD_RETURN_IF_ERROR(Linearize(e.lhs(), h, vars, &sub));
+      for (FormCase& c : sub) {
+        c.form = NegateForm(c.form);
+        out->push_back(std::move(c));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kAbs: {
+      std::vector<FormCase> sub;
+      NGD_RETURN_IF_ERROR(Linearize(e.lhs(), h, vars, &sub));
+      for (const FormCase& c : sub) {
+        FormCase pos = c;
+        pos.side.push_back({c.form, CmpOp::kGe});  // e >= 0, |e| = e
+        out->push_back(std::move(pos));
+        FormCase neg;
+        neg.form = NegateForm(c.form);
+        neg.side = c.side;
+        neg.side.push_back({c.form, CmpOp::kLe});  // e <= 0, |e| = -e
+        out->push_back(std::move(neg));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+    case Expr::Kind::kMul:
+    case Expr::Kind::kDiv: {
+      std::vector<FormCase> ls, rs;
+      NGD_RETURN_IF_ERROR(Linearize(e.lhs(), h, vars, &ls));
+      NGD_RETURN_IF_ERROR(Linearize(e.rhs(), h, vars, &rs));
+      for (const FormCase& l : ls) {
+        for (const FormCase& r : rs) {
+          FormCase c;
+          c.side = l.side;
+          c.side.insert(c.side.end(), r.side.begin(), r.side.end());
+          if (e.kind() == Expr::Kind::kAdd ||
+              e.kind() == Expr::Kind::kSub) {
+            c.form =
+                AddForms(l.form, r.form, e.kind() == Expr::Kind::kSub);
+          } else if (e.kind() == Expr::Kind::kMul) {
+            if (r.form.coefs.empty()) {
+              c.form = ScaleForm(l.form, r.form.constant);
+            } else if (l.form.coefs.empty()) {
+              c.form = ScaleForm(r.form, l.form.constant);
+            } else {
+              return Status::InvalidArgument(
+                  "non-linear product in reasoning encoder");
+            }
+          } else {  // kDiv
+            if (!r.form.coefs.empty()) {
+              return Status::InvalidArgument(
+                  "non-constant divisor in reasoning encoder");
+            }
+            if (r.form.constant == Rational(0)) {
+              return Status::InvalidArgument(
+                  "division by zero constant in rule");
+            }
+            c.form = ScaleForm(l.form, Rational(1) / r.form.constant);
+          }
+          out->push_back(std::move(c));
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+void CollectAttrVars(const Expr& e, const Binding& h, VarTable* vars,
+                     std::vector<int>* out) {
+  switch (e.kind()) {
+    case Expr::Kind::kVarAttr: {
+      int id = vars->IdOf(AttrVar{h[e.var_index()], e.attr()});
+      if (std::find(out->begin(), out->end(), id) == out->end()) {
+        out->push_back(id);
+      }
+      return;
+    }
+    case Expr::Kind::kIntConst:
+    case Expr::Kind::kStrConst:
+      return;
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kAbs:
+      CollectAttrVars(e.lhs(), h, vars, out);
+      return;
+    default:
+      CollectAttrVars(e.lhs(), h, vars, out);
+      CollectAttrVars(e.rhs(), h, vars, out);
+      return;
+  }
+}
+
+bool IsBareVar(const Expr& e) { return e.kind() == Expr::Kind::kVarAttr; }
+bool IsStrConst(const Expr& e) { return e.kind() == Expr::Kind::kStrConst; }
+
+}  // namespace
+
+StatusOr<EncodedLiteral> EncodeLiteral(const Literal& lit, bool positive,
+                                       const Binding& h, VarTable* vars) {
+  EncodedLiteral out;
+  out.op = positive ? lit.op() : NegateCmpOp(lit.op());
+  CollectAttrVars(lit.lhs(), h, vars, &out.attr_vars);
+  CollectAttrVars(lit.rhs(), h, vars, &out.attr_vars);
+
+  const bool lhs_str = IsStrConst(lit.lhs());
+  const bool rhs_str = IsStrConst(lit.rhs());
+  if (lhs_str || rhs_str) {
+    const bool is_equality = lit.op() == CmpOp::kEq || lit.op() == CmpOp::kNe;
+    if (lhs_str && rhs_str) {
+      // Constant/constant: decide immediately.
+      bool value;
+      if (lit.op() == CmpOp::kEq) {
+        value = lit.lhs().str_value() == lit.rhs().str_value();
+      } else if (lit.op() == CmpOp::kNe) {
+        value = lit.lhs().str_value() != lit.rhs().str_value();
+      } else {
+        value = false;  // no order on strings
+      }
+      if (value == positive) {
+        out.cls = LitClass::kNumeric;
+        out.alts.push_back(NumericAlt{});  // trivially consistent
+      } else {
+        out.cls = LitClass::kNeverTrue;
+      }
+      return out;
+    }
+    const Expr& other = lhs_str ? lit.rhs() : lit.lhs();
+    if (!is_equality || !IsBareVar(other)) {
+      // Order comparison with a string, or string vs arithmetic: the
+      // literal can never be satisfied. Negating it always succeeds.
+      out.cls = positive ? LitClass::kNeverTrue : LitClass::kNumeric;
+      if (!positive) out.alts.push_back(NumericAlt{});
+      return out;
+    }
+    out.cls = LitClass::kString;
+    int var = vars->IdOf(AttrVar{h[other.var_index()], other.attr()});
+    if (lhs_str) {
+      out.str_lhs_const = lit.lhs().str_value();
+      out.str_rhs_var = var;
+    } else {
+      out.str_lhs_var = var;
+      out.str_rhs_const = lit.rhs().str_value();
+    }
+    return out;
+  }
+
+  // Numeric literal: linearize both sides, cross the abs cases.
+  std::vector<FormCase> ls, rs;
+  NGD_RETURN_IF_ERROR(Linearize(lit.lhs(), h, vars, &ls));
+  NGD_RETURN_IF_ERROR(Linearize(lit.rhs(), h, vars, &rs));
+  out.cls = LitClass::kNumeric;
+  for (const FormCase& l : ls) {
+    for (const FormCase& r : rs) {
+      NumericAlt alt;
+      RatForm diff = AddForms(l.form, r.form, /*subtract=*/true);
+      alt.constraints.push_back(ToConstraint(diff, out.op));
+      for (const auto& [form, op] : l.side) {
+        alt.constraints.push_back(ToConstraint(form, op));
+      }
+      for (const auto& [form, op] : r.side) {
+        alt.constraints.push_back(ToConstraint(form, op));
+      }
+      out.alts.push_back(std::move(alt));
+    }
+  }
+  return out;
+}
+
+bool ConstraintSystem::RequirePresent(int var) {
+  if (absent_.count(var) > 0) return false;
+  present_.insert(var);
+  return true;
+}
+
+bool ConstraintSystem::RequireAbsent(int var) {
+  if (present_.count(var) > 0) return false;
+  absent_.insert(var);
+  return true;
+}
+
+bool ConstraintSystem::AddStringFact(const EncodedLiteral& lit,
+                                     bool positive) {
+  // Effective operator after polarity: lit.op was already negated by the
+  // encoder when positive == false, so apply as-is.
+  CmpOp op = lit.op;
+  int var = lit.str_lhs_var.value_or(lit.str_rhs_var.value_or(-1));
+  const std::string& constant =
+      lit.str_lhs_const.has_value() ? *lit.str_lhs_const
+                                    : *lit.str_rhs_const;
+  (void)positive;
+  if (var < 0) return false;
+  str_typed_.insert(var);
+  if (op == CmpOp::kEq) {
+    auto it = strings_.equals.find(var);
+    if (it != strings_.equals.end() && it->second != constant) return false;
+    strings_.equals.emplace(var, constant);
+    if (strings_.not_equals.count(var) > 0 &&
+        strings_.not_equals[var].count(constant) > 0) {
+      return false;
+    }
+    return true;
+  }
+  if (op == CmpOp::kNe) {
+    auto it = strings_.equals.find(var);
+    if (it != strings_.equals.end() && it->second == constant) return false;
+    strings_.not_equals[var].insert(constant);
+    return true;
+  }
+  return false;  // no order on strings
+}
+
+bool ConstraintSystem::CheckStrings() const {
+  for (const auto& [var, value] : strings_.equals) {
+    auto it = strings_.not_equals.find(var);
+    if (it != strings_.not_equals.end() && it->second.count(value) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SolveResult ConstraintSystem::Check(const VarTable& vars) const {
+  // Type conflicts: a variable used both arithmetically and as a string.
+  std::unordered_set<int> int_typed = int_typed_;
+  for (const LinConstraint& c : numeric_) {
+    for (const LinTerm& t : c.terms) int_typed.insert(t.var);
+  }
+  for (int v : int_typed) {
+    if (str_typed_.count(v) > 0) return SolveResult::kUnsat;
+  }
+  if (!CheckStrings()) return SolveResult::kUnsat;
+
+  LinearSolver solver(static_cast<int>(vars.size()), solver_opts_);
+  for (const LinConstraint& c : numeric_) solver.AddConstraint(c);
+  return solver.Solve(nullptr);
+}
+
+std::optional<ConstraintSystem::Witness> ConstraintSystem::BuildWitness(
+    const VarTable& vars) const {
+  LinearSolver solver(static_cast<int>(vars.size()), solver_opts_);
+  for (const LinConstraint& c : numeric_) solver.AddConstraint(c);
+  std::vector<int64_t> values;
+  if (solver.Solve(&values) != SolveResult::kSat) return std::nullopt;
+  Witness w;
+  for (size_t v = 0; v < vars.size(); ++v) {
+    if (absent_.count(static_cast<int>(v)) > 0) continue;
+    if (str_typed_.count(static_cast<int>(v)) > 0) {
+      auto it = strings_.equals.find(static_cast<int>(v));
+      if (it != strings_.equals.end()) {
+        w.strings.emplace(static_cast<int>(v), it->second);
+      } else {
+        // Fresh string distinct from every excluded constant.
+        w.strings.emplace(static_cast<int>(v),
+                          "fresh#" + std::to_string(v));
+      }
+      continue;
+    }
+    w.ints.emplace(static_cast<int>(v),
+                   v < values.size() ? values[v] : 0);
+  }
+  return w;
+}
+
+}  // namespace ngd

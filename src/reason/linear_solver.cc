@@ -1,0 +1,341 @@
+#include "reason/linear_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+namespace ngd {
+
+namespace {
+
+using Int128 = __int128;
+
+/// Internal normalized constraint: sum(terms) <= rhs.
+struct LeConstraint {
+  std::vector<LinTerm> terms;
+  int64_t rhs;
+};
+
+/// Disequality: sum(terms) != rhs.
+struct NeConstraint {
+  std::vector<LinTerm> terms;
+  int64_t rhs;
+};
+
+struct Interval {
+  std::optional<int64_t> lo;
+  std::optional<int64_t> hi;
+
+  bool Empty() const { return lo && hi && *lo > *hi; }
+};
+
+/// Combines duplicate variables; drops zero coefficients.
+std::vector<LinTerm> CanonicalTerms(const std::vector<LinTerm>& terms) {
+  std::vector<LinTerm> out;
+  for (const LinTerm& t : terms) {
+    if (t.coef == 0) continue;
+    bool merged = false;
+    for (LinTerm& o : out) {
+      if (o.var == t.var) {
+        o.coef += t.coef;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back(t);
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const LinTerm& t) { return t.coef == 0; }),
+            out.end());
+  return out;
+}
+
+class Search {
+ public:
+  Search(int num_vars, const SolverOptions& opts) : opts_(opts) {
+    intervals_.resize(num_vars);
+  }
+
+  std::vector<LeConstraint> les;
+  std::vector<NeConstraint> nes;
+
+  SolveResult Run(std::vector<int64_t>* solution) {
+    return Branch(intervals_, 0, solution);
+  }
+
+ private:
+  /// Tightens intervals from the ≤-constraints to fixpoint.
+  /// Returns false when some interval becomes empty or a constraint is
+  /// unsatisfiable outright.
+  bool Propagate(std::vector<Interval>* iv) const {
+    for (int round = 0; round < 64; ++round) {
+      bool changed = false;
+      for (const LeConstraint& c : les) {
+        // For each variable j: a_j x_j <= rhs - sum_{i != j} min(a_i x_i).
+        // First check constant constraints.
+        if (c.terms.empty()) {
+          if (0 > c.rhs) return false;
+          continue;
+        }
+        for (size_t j = 0; j < c.terms.size(); ++j) {
+          Int128 rest_min = 0;
+          bool rest_bounded = true;
+          for (size_t i = 0; i < c.terms.size(); ++i) {
+            if (i == j) continue;
+            const LinTerm& t = c.terms[i];
+            const Interval& x = (*iv)[t.var];
+            if (t.coef > 0) {
+              if (!x.lo) {
+                rest_bounded = false;
+                break;
+              }
+              rest_min += Int128(t.coef) * *x.lo;
+            } else {
+              if (!x.hi) {
+                rest_bounded = false;
+                break;
+              }
+              rest_min += Int128(t.coef) * *x.hi;
+            }
+          }
+          if (!rest_bounded) continue;
+          const LinTerm& t = c.terms[j];
+          Interval& x = (*iv)[t.var];
+          Int128 slack = Int128(c.rhs) - rest_min;
+          if (t.coef > 0) {
+            // x_j <= floor(slack / coef)
+            Int128 bound = slack >= 0 ? slack / t.coef
+                                      : -((-slack + t.coef - 1) / t.coef);
+            int64_t b = Clamp(bound);
+            if (!x.hi || *x.hi > b) {
+              x.hi = b;
+              changed = true;
+            }
+          } else {
+            // x_j >= ceil(slack / coef), coef < 0.
+            Int128 neg = -t.coef;
+            Int128 bound = slack >= 0 ? -(slack / neg)
+                                      : ((-slack) + neg - 1) / neg;
+            int64_t b = Clamp(bound);
+            if (!x.lo || *x.lo < b) {
+              x.lo = b;
+              changed = true;
+            }
+          }
+          if (x.Empty()) return false;
+        }
+      }
+      if (!changed) return true;
+    }
+    return true;  // fixpoint not reached within cap; intervals still sound
+  }
+
+  static int64_t Clamp(Int128 v) {
+    const Int128 lo = INT64_MIN / 4, hi = INT64_MAX / 4;
+    if (v < lo) return static_cast<int64_t>(lo);
+    if (v > hi) return static_cast<int64_t>(hi);
+    return static_cast<int64_t>(v);
+  }
+
+  bool AllAssigned(const std::vector<Interval>& iv) const {
+    for (const Interval& x : iv) {
+      if (!x.lo || !x.hi || *x.lo != *x.hi) return false;
+    }
+    return true;
+  }
+
+  bool CheckComplete(const std::vector<Interval>& iv) const {
+    auto value_of = [&](int var) { return *iv[var].lo; };
+    for (const LeConstraint& c : les) {
+      Int128 sum = 0;
+      for (const LinTerm& t : c.terms) sum += Int128(t.coef) * value_of(t.var);
+      if (sum > c.rhs) return false;
+    }
+    for (const NeConstraint& c : nes) {
+      Int128 sum = 0;
+      for (const LinTerm& t : c.terms) sum += Int128(t.coef) * value_of(t.var);
+      if (sum == c.rhs) return false;
+    }
+    return true;
+  }
+
+  /// Finds a violated disequality under the current point assignment of
+  /// its variables; returns index or -1. Only fully-assigned disequalities
+  /// are reported.
+  int FindViolatedNe(const std::vector<Interval>& iv) const {
+    for (size_t k = 0; k < nes.size(); ++k) {
+      const NeConstraint& c = nes[k];
+      Int128 sum = 0;
+      bool assigned = true;
+      for (const LinTerm& t : c.terms) {
+        const Interval& x = iv[t.var];
+        if (!x.lo || !x.hi || *x.lo != *x.hi) {
+          assigned = false;
+          break;
+        }
+        sum += Int128(t.coef) * *x.lo;
+      }
+      if (assigned && sum == c.rhs) return static_cast<int>(k);
+    }
+    return -1;
+  }
+
+  SolveResult Branch(std::vector<Interval> iv, int depth,
+                     std::vector<int64_t>* solution) {
+    if (++nodes_ > opts_.max_branch_nodes) return SolveResult::kUnknown;
+    if (!Propagate(&iv)) return SolveResult::kUnsat;
+
+    if (AllAssigned(iv)) {
+      if (CheckComplete(iv)) {
+        if (solution != nullptr) {
+          solution->clear();
+          for (const Interval& x : iv) solution->push_back(*x.lo);
+        }
+        return SolveResult::kSat;
+      }
+      return SolveResult::kUnsat;
+    }
+
+    // Violated disequality on assigned prefix: dead end (the split below
+    // resolves disequalities only once both sides are assigned).
+    if (FindViolatedNe(iv) >= 0) return SolveResult::kUnsat;
+
+    // Pick the unassigned variable with the smallest range; clamp
+    // unbounded sides to ±domain_bound (tracking clamping for kUnknown).
+    int pick = -1;
+    Int128 best_range = 0;
+    bool clamped_pick = false;
+    for (size_t v = 0; v < iv.size(); ++v) {
+      Interval x = iv[v];
+      if (x.lo && x.hi && *x.lo == *x.hi) continue;
+      bool clamped = false;
+      int64_t lo, hi;
+      if (x.lo) {
+        lo = *x.lo;
+      } else {
+        lo = -opts_.domain_bound;
+        clamped = true;
+      }
+      if (x.hi) {
+        hi = *x.hi;
+      } else {
+        hi = opts_.domain_bound;
+        clamped = true;
+      }
+      Int128 range = Int128(hi) - lo;
+      if (pick < 0 || range < best_range) {
+        pick = static_cast<int>(v);
+        best_range = range;
+        clamped_pick = clamped;
+      }
+    }
+    assert(pick >= 0);
+    Interval px = iv[pick];
+    int64_t lo = px.lo.value_or(-opts_.domain_bound);
+    int64_t hi = px.hi.value_or(opts_.domain_bound);
+    if (lo > hi) return SolveResult::kUnsat;
+
+    bool saw_unknown = clamped_pick;
+    if (lo == hi || best_range == 0) {
+      iv[pick].lo = iv[pick].hi = lo;
+      SolveResult r = Branch(iv, depth + 1, solution);
+      return r;
+    }
+    // Bisect; try lower half first (small-magnitude witnesses).
+    int64_t mid = lo + (hi - lo) / 2;
+    {
+      std::vector<Interval> left = iv;
+      left[pick].lo = lo;
+      left[pick].hi = mid;
+      SolveResult r = Branch(std::move(left), depth + 1, solution);
+      if (r == SolveResult::kSat) return r;
+      if (r == SolveResult::kUnknown) saw_unknown = true;
+    }
+    {
+      std::vector<Interval> right = iv;
+      right[pick].lo = mid + 1;
+      right[pick].hi = hi;
+      SolveResult r = Branch(std::move(right), depth + 1, solution);
+      if (r == SolveResult::kSat) return r;
+      if (r == SolveResult::kUnknown) saw_unknown = true;
+    }
+    return saw_unknown ? SolveResult::kUnknown : SolveResult::kUnsat;
+  }
+
+  const SolverOptions& opts_;
+  std::vector<Interval> intervals_;
+  size_t nodes_ = 0;
+};
+
+}  // namespace
+
+SolveResult LinearSolver::Solve(std::vector<int64_t>* solution) {
+  Search search(num_vars_, opts_);
+  for (const LinConstraint& c : input_) {
+    std::vector<LinTerm> terms = CanonicalTerms(c.terms);
+    auto add_le = [&](std::vector<LinTerm> t, int64_t rhs) {
+      search.les.push_back(LeConstraint{std::move(t), rhs});
+    };
+    auto negated = [&]() {
+      std::vector<LinTerm> t = terms;
+      for (LinTerm& x : t) x.coef = -x.coef;
+      return t;
+    };
+    switch (c.op) {
+      case CmpOp::kLe:
+        add_le(terms, c.rhs);
+        break;
+      case CmpOp::kLt:
+        add_le(terms, c.rhs - 1);
+        break;
+      case CmpOp::kGe:
+        add_le(negated(), -c.rhs);
+        break;
+      case CmpOp::kGt:
+        add_le(negated(), -c.rhs - 1);
+        break;
+      case CmpOp::kEq:
+        add_le(terms, c.rhs);
+        add_le(negated(), -c.rhs);
+        break;
+      case CmpOp::kNe:
+        search.nes.push_back(NeConstraint{terms, c.rhs});
+        break;
+    }
+  }
+
+  // Disequality case split: kNe constraints whose variables never get
+  // point-assigned would otherwise stall, so split each ≠ into two
+  // branches (< and >) up front when there are few of them; with many,
+  // rely on the in-search dead-end detection plus bisection.
+  if (!search.nes.empty() && search.nes.size() <= 12) {
+    // Recursive expansion over ≠ constraints.
+    std::vector<NeConstraint> nes = std::move(search.nes);
+    search.nes.clear();
+    // 2^|nes| sign patterns.
+    size_t patterns = size_t{1} << nes.size();
+    bool saw_unknown = false;
+    for (size_t mask = 0; mask < patterns; ++mask) {
+      Search branch(num_vars_, opts_);
+      branch.les = search.les;
+      for (size_t k = 0; k < nes.size(); ++k) {
+        std::vector<LinTerm> t = nes[k].terms;
+        if (mask & (size_t{1} << k)) {
+          // sum < rhs  =>  sum <= rhs - 1
+          branch.les.push_back(LeConstraint{t, nes[k].rhs - 1});
+        } else {
+          // sum > rhs  =>  -sum <= -rhs - 1
+          for (LinTerm& x : t) x.coef = -x.coef;
+          branch.les.push_back(LeConstraint{std::move(t), -nes[k].rhs - 1});
+        }
+      }
+      SolveResult r = branch.Run(solution);
+      if (r == SolveResult::kSat) return r;
+      if (r == SolveResult::kUnknown) saw_unknown = true;
+    }
+    return saw_unknown ? SolveResult::kUnknown : SolveResult::kUnsat;
+  }
+  return search.Run(solution);
+}
+
+}  // namespace ngd

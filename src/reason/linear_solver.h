@@ -1,0 +1,69 @@
+// Exact feasibility of linear integer constraint systems.
+//
+// The satisfiability / implication analyses of NGDs (paper §4) reduce to
+// deciding whether conjunctions of linear constraints over INTEGER
+// attribute variables are feasible — NP-complete over Z (the paper cites
+// [47]), unlike the PTIME dense-order case. This solver decides small
+// systems exactly:
+//   - =, <, >, ≤, ≥ are normalized to ≤ over integers (strict ops shift
+//     the bound by 1);
+//   - ≠ is handled by case-splitting into < and >;
+//   - feasibility of the ≤-system uses interval (bounds) propagation to a
+//     fixpoint, then branch-and-prune bisection on the tightest variable.
+// Variables left unbounded by propagation are clamped to ±domain_bound;
+// exhausting a clamped search space yields kUnknown rather than kUnsat
+// (the honest answer — a solution may exist beyond the clamp). Systems
+// arising from data-quality rules have tiny coefficients and bounds, so
+// in practice answers are exact.
+
+#ifndef NGD_REASON_LINEAR_SOLVER_H_
+#define NGD_REASON_LINEAR_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/literal.h"
+
+namespace ngd {
+
+struct LinTerm {
+  int var = -1;
+  int64_t coef = 0;
+};
+
+/// sum(terms) op rhs, integer coefficients.
+struct LinConstraint {
+  std::vector<LinTerm> terms;
+  CmpOp op = CmpOp::kLe;
+  int64_t rhs = 0;
+};
+
+enum class SolveResult : uint8_t { kSat, kUnsat, kUnknown };
+
+struct SolverOptions {
+  /// Clamp for variables propagation cannot bound.
+  int64_t domain_bound = 1000000;
+  /// Branch-node budget before giving up with kUnknown.
+  size_t max_branch_nodes = 100000;
+};
+
+class LinearSolver {
+ public:
+  explicit LinearSolver(int num_vars, SolverOptions opts = {})
+      : num_vars_(num_vars), opts_(opts) {}
+
+  void AddConstraint(LinConstraint c) { input_.push_back(std::move(c)); }
+
+  /// Decides feasibility; on kSat fills *solution (if non-null) with a
+  /// witness assignment.
+  SolveResult Solve(std::vector<int64_t>* solution = nullptr);
+
+ private:
+  int num_vars_;
+  SolverOptions opts_;
+  std::vector<LinConstraint> input_;
+};
+
+}  // namespace ngd
+
+#endif  // NGD_REASON_LINEAR_SOLVER_H_

@@ -1,0 +1,86 @@
+#include "util/rational.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace ngd {
+
+namespace {
+using Int128 = __int128;
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
+  assert(den != 0 && "rational with zero denominator");
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+int64_t Rational::ToInteger() const {
+  assert(IsInteger());
+  return num_;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  Int128 n = Int128(num_) * o.den_ + Int128(o.num_) * den_;
+  Int128 d = Int128(den_) * o.den_;
+  // Reduce in 128 bits before narrowing; operands in NGD evaluation are
+  // small (attribute values x small constants), so this cannot overflow
+  // int64 after reduction in practice.
+  Int128 a = n < 0 ? -n : n;
+  Int128 b = d;
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a > 1) {
+    n /= a;
+    d /= a;
+  }
+  return Rational(static_cast<int64_t>(n), static_cast<int64_t>(d));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce first to keep components small.
+  Rational a(num_, o.den_);
+  Rational b(o.num_, den_);
+  return Rational(a.num_ * b.num_, a.den_ * b.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  assert(o.num_ != 0 && "division by zero rational");
+  return *this * Rational(o.den_, o.num_);
+}
+
+bool Rational::operator==(const Rational& o) const {
+  return num_ == o.num_ && den_ == o.den_;
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return Int128(num_) * o.den_ < Int128(o.num_) * den_;
+}
+
+bool Rational::operator<=(const Rational& o) const {
+  return Int128(num_) * o.den_ <= Int128(o.num_) * den_;
+}
+
+std::string Rational::ToString() const {
+  if (IsInteger()) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace ngd

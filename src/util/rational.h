@@ -1,0 +1,60 @@
+// Exact rational arithmetic for NGD expression evaluation.
+//
+// NGD linear expressions allow division by integer constants (e ÷ c).
+// Evaluating with integer truncation would make, e.g., (x.A ÷ 2) × 2 = x.A
+// spuriously fail for odd x.A, so expressions are evaluated exactly over
+// Q with int64 numerator/denominator and __int128 cross-multiplication for
+// overflow-free comparison. Values stay tiny in practice (attribute values
+// and small rule constants), so int64 components are ample.
+
+#ifndef NGD_UTIL_RATIONAL_H_
+#define NGD_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ngd {
+
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  constexpr Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  bool IsInteger() const { return den_ == 1; }
+  /// Integer value; requires IsInteger().
+  int64_t ToInteger() const;
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Division; requires o != 0.
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const { return Rational(-num_, den_); }
+  Rational Abs() const { return num_ < 0 ? -*this : *this; }
+
+  bool operator==(const Rational& o) const;
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const;
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  int64_t num_;
+  int64_t den_;  // > 0 always
+};
+
+}  // namespace ngd
+
+#endif  // NGD_UTIL_RATIONAL_H_

@@ -1,0 +1,136 @@
+// Status / StatusOr: the library-wide error model.
+//
+// ngdlib does not throw exceptions from library code; fallible operations
+// return Status (or StatusOr<T> when they produce a value). This mirrors the
+// RocksDB / Arrow idiom for database-engine code.
+
+#ifndef NGD_UTIL_STATUS_H_
+#define NGD_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ngd {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+const char* StatusCodeName(StatusCode code);
+
+/// A value-or-error wrapper. Holds T iff status().ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value)  // NOLINT: implicit by design
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define NGD_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::ngd::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define NGD_MACRO_CONCAT_INNER(a, b) a##b
+#define NGD_MACRO_CONCAT(a, b) NGD_MACRO_CONCAT_INNER(a, b)
+
+#define NGD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define NGD_ASSIGN_OR_RETURN(lhs, expr) \
+  NGD_ASSIGN_OR_RETURN_IMPL(NGD_MACRO_CONCAT(_sor_, __LINE__), lhs, expr)
+
+}  // namespace ngd
+
+#endif  // NGD_UTIL_STATUS_H_

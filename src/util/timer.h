@@ -1,0 +1,34 @@
+// Wall-clock timing used by the bench harnesses and the parallel balancer.
+
+#ifndef NGD_UTIL_TIMER_H_
+#define NGD_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ngd {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ngd
+
+#endif  // NGD_UTIL_TIMER_H_

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "graph/error_injector.h"
+#include "graph/generators.h"
+
+namespace ngd {
+namespace {
+
+TEST(GeneratorsTest, ProducesRequestedSizes) {
+  GraphGenConfig cfg = SyntheticConfig(2000, 5000, /*seed=*/3);
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(cfg, schema);
+  EXPECT_EQ(g->NumNodes(), 2000u);
+  // Edge dedup may fall slightly short of the target; never exceeds.
+  EXPECT_LE(g->NumEdges(GraphView::kNew), 5000u);
+  EXPECT_GE(g->NumEdges(GraphView::kNew), 4500u);
+}
+
+TEST(GeneratorsTest, DeterministicForSeed) {
+  SchemaPtr s1 = Schema::Create(), s2 = Schema::Create();
+  auto g1 = GenerateGraph(SyntheticConfig(500, 1200, 9), s1);
+  auto g2 = GenerateGraph(SyntheticConfig(500, 1200, 9), s2);
+  ASSERT_EQ(g1->NumNodes(), g2->NumNodes());
+  ASSERT_EQ(g1->NumEdges(GraphView::kNew), g2->NumEdges(GraphView::kNew));
+  for (NodeId v = 0; v < g1->NumNodes(); ++v) {
+    EXPECT_EQ(g1->NodeLabel(v), g2->NodeLabel(v));
+    EXPECT_EQ(g1->Attrs(v), g2->Attrs(v));
+  }
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  SchemaPtr s1 = Schema::Create(), s2 = Schema::Create();
+  auto g1 = GenerateGraph(SyntheticConfig(500, 1200, 9), s1);
+  auto g2 = GenerateGraph(SyntheticConfig(500, 1200, 10), s2);
+  size_t differing = 0;
+  for (NodeId v = 0; v < 500; ++v) {
+    if (g1->NodeLabel(v) != g2->NodeLabel(v)) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(GeneratorsTest, AttributeValuesWithinRange) {
+  GraphGenConfig cfg = SyntheticConfig(300, 600, 4);
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(cfg, schema);
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    for (const auto& [attr, value] : g->Attrs(v)) {
+      ASSERT_TRUE(value.is_int());
+      EXPECT_GE(value.AsInt(), cfg.value_min);
+      EXPECT_LE(value.AsInt(), cfg.value_max);
+    }
+  }
+}
+
+TEST(GeneratorsTest, SameLabelNodesShareAttributeNames) {
+  GraphGenConfig cfg = SyntheticConfig(400, 800, 5);
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(cfg, schema);
+  // Pick two nodes with the same label; their attr id sets must agree
+  // (typed entities carry the same attribute names).
+  for (NodeId a = 0; a < g->NumNodes(); ++a) {
+    for (NodeId b = a + 1; b < std::min<NodeId>(g->NumNodes(), a + 50); ++b) {
+      if (g->NodeLabel(a) != g->NodeLabel(b)) continue;
+      ASSERT_EQ(g->Attrs(a).size(), g->Attrs(b).size());
+      for (size_t k = 0; k < g->Attrs(a).size(); ++k) {
+        EXPECT_EQ(g->Attrs(a)[k].first, g->Attrs(b)[k].first);
+      }
+      return;  // one pair suffices
+    }
+  }
+}
+
+TEST(GeneratorsTest, PresetsMatchPaperAlphabets) {
+  GraphGenConfig db = DBpediaLikeConfig(0.001);
+  EXPECT_EQ(db.num_node_labels, 200u);
+  EXPECT_EQ(db.num_edge_labels, 160u);
+  EXPECT_EQ(db.num_nodes, 28000u);
+  GraphGenConfig yago = Yago2LikeConfig(0.001);
+  EXPECT_EQ(yago.num_node_labels, 13u);
+  EXPECT_EQ(yago.num_edge_labels, 36u);
+  GraphGenConfig pokec = PokecLikeConfig(0.001);
+  EXPECT_EQ(pokec.num_node_labels, 269u);
+  EXPECT_EQ(pokec.num_edge_labels, 11u);
+  GraphGenConfig synth = SyntheticConfig(10, 20);
+  EXPECT_EQ(synth.num_node_labels, 500u);
+  EXPECT_EQ(synth.value_max - synth.value_min + 1, 2000);
+}
+
+TEST(GeneratorsTest, SocialPresetIsSkewedHeavier) {
+  // Pokec-like graphs should show a heavier-tailed degree distribution
+  // than yago-like at equal size.
+  SchemaPtr s1 = Schema::Create(), s2 = Schema::Create();
+  GraphGenConfig social = PokecLikeConfig(0.0005, 3);
+  GraphGenConfig kb = Yago2LikeConfig(0.0005, 3);
+  kb.num_nodes = social.num_nodes;
+  kb.num_edges = social.num_edges;
+  auto gs = GenerateGraph(social, s1);
+  auto gk = GenerateGraph(kb, s2);
+  size_t max_social = 0, max_kb = 0;
+  for (NodeId v = 0; v < gs->NumNodes(); ++v) {
+    max_social = std::max(max_social, gs->AdjSize(v));
+  }
+  for (NodeId v = 0; v < gk->NumNodes(); ++v) {
+    max_kb = std::max(max_kb, gk->AdjSize(v));
+  }
+  EXPECT_GT(max_social, max_kb);
+}
+
+// ---- Error injector ----------------------------------------------------------
+
+TEST(ErrorInjectorTest, PlantsRequestedCountsAndErrors) {
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  ErrorInjector inj(&g, 17);
+  MotifStats s = inj.PlantPopulation(200, 0.25);
+  EXPECT_EQ(s.instances, 200u);
+  EXPECT_GT(s.errors, 20u);
+  EXPECT_LT(s.errors, 90u);
+}
+
+TEST(ErrorInjectorTest, ZeroErrorRatePlantsCleanData) {
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  ErrorInjector inj(&g, 17);
+  EXPECT_EQ(inj.PlantLifespan(50, 0.0).errors, 0u);
+  EXPECT_EQ(inj.PlantOlympicNations(50, 0.0).errors, 0u);
+  EXPECT_EQ(inj.PlantF1Wins(50, 0.0).errors, 0u);
+}
+
+TEST(ErrorInjectorTest, PopulationMotifInternallyConsistentWhenClean) {
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  ErrorInjector inj(&g, 23);
+  inj.PlantPopulation(30, 0.0);
+  AttrId val = *schema->attrs().Find("val");
+  LabelId fem = *schema->labels().Find("femalePopulation");
+  LabelId mal = *schema->labels().Find("malePopulation");
+  LabelId tot = *schema->labels().Find("populationTotal");
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    int64_t f = -1, m = -1, t = -1;
+    for (const auto& e : g.OutEdges(v)) {
+      int64_t x = g.GetAttr(e.other, val)->AsInt();
+      if (e.label == fem) f = x;
+      if (e.label == mal) m = x;
+      if (e.label == tot) t = x;
+    }
+    if (f >= 0 && m >= 0 && t >= 0) EXPECT_EQ(f + m, t);
+  }
+}
+
+TEST(ErrorInjectorTest, AllMotifsProduceNodesAndEdges) {
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  ErrorInjector inj(&g, 5);
+  inj.PlantLifespan(10, 0.5);
+  inj.PlantPopulation(10, 0.5);
+  inj.PlantPopulationRank(10, 0.5);
+  inj.PlantFakeAccounts(10, 0.5);
+  inj.PlantLivingPeople(10, 0.5);
+  inj.PlantOlympicNations(10, 0.5);
+  inj.PlantF1Wins(10, 0.5);
+  inj.PlantConstantBinding(10, 0.5);
+  EXPECT_GT(g.NumNodes(), 200u);
+  EXPECT_GT(g.NumEdges(GraphView::kNew), 200u);
+}
+
+}  // namespace
+}  // namespace ngd

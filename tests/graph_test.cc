@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "graph/neighborhood.h"
+
+namespace ngd {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() : schema_(Schema::Create()), g_(schema_) {}
+
+  SchemaPtr schema_;
+  Graph g_;
+};
+
+TEST_F(GraphTest, AddNodesAndLabels) {
+  NodeId a = g_.AddNode("person");
+  NodeId b = g_.AddNode("person");
+  NodeId c = g_.AddNode("city");
+  EXPECT_EQ(g_.NumNodes(), 3u);
+  EXPECT_EQ(g_.NodeLabelName(a), "person");
+  EXPECT_EQ(g_.NodeLabel(a), g_.NodeLabel(b));
+  EXPECT_NE(g_.NodeLabel(a), g_.NodeLabel(c));
+}
+
+TEST_F(GraphTest, LabelIndex) {
+  NodeId a = g_.AddNode("person");
+  g_.AddNode("city");
+  NodeId c = g_.AddNode("person");
+  const auto& people = g_.NodesWithLabel(g_.NodeLabel(a));
+  ASSERT_EQ(people.size(), 2u);
+  EXPECT_EQ(people[0], a);
+  EXPECT_EQ(people[1], c);
+  EXPECT_TRUE(g_.NodesWithLabel(9999).empty());
+}
+
+TEST_F(GraphTest, AttributesSetGetOverwrite) {
+  NodeId v = g_.AddNode("person");
+  EXPECT_EQ(g_.GetAttr(v, 0), nullptr);
+  g_.SetAttr(v, "age", Value(int64_t{30}));
+  g_.SetAttr(v, "name", Value("alice"));
+  AttrId age = *schema_->attrs().Find("age");
+  ASSERT_NE(g_.GetAttr(v, age), nullptr);
+  EXPECT_EQ(g_.GetAttr(v, age)->AsInt(), 30);
+  g_.SetAttr(v, "age", Value(int64_t{31}));
+  EXPECT_EQ(g_.GetAttr(v, age)->AsInt(), 31);
+  EXPECT_EQ(g_.Attrs(v).size(), 2u);
+}
+
+TEST_F(GraphTest, AttrsSortedById) {
+  NodeId v = g_.AddNode("n");
+  g_.SetAttr(v, "z", Value(int64_t{1}));
+  g_.SetAttr(v, "a", Value(int64_t{2}));
+  g_.SetAttr(v, "m", Value(int64_t{3}));
+  const auto& attrs = g_.Attrs(v);
+  for (size_t i = 1; i < attrs.size(); ++i) {
+    EXPECT_LT(attrs[i - 1].first, attrs[i].first);
+  }
+}
+
+TEST_F(GraphTest, AddEdgeAndDuplicates) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b");
+  LabelId knows = schema_->InternLabel("knows");
+  EXPECT_TRUE(g_.AddEdge(a, b, knows).ok());
+  EXPECT_EQ(g_.AddEdge(a, b, knows).code(), StatusCode::kAlreadyExists);
+  // Same endpoints, different label: a distinct edge.
+  EXPECT_TRUE(g_.AddEdge(a, b, "likes").ok());
+  // Reverse direction is distinct.
+  EXPECT_TRUE(g_.AddEdge(b, a, knows).ok());
+  EXPECT_EQ(g_.NumEdges(GraphView::kNew), 3u);
+}
+
+TEST_F(GraphTest, EdgeEndpointValidation) {
+  NodeId a = g_.AddNode("a");
+  EXPECT_EQ(g_.AddEdge(a, 99, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g_.InsertEdge(99, a, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphTest, HasEdgePerView) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b");
+  LabelId l = schema_->InternLabel("e");
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  EXPECT_TRUE(g_.HasEdge(a, b, l, GraphView::kOld));
+  EXPECT_TRUE(g_.HasEdge(a, b, l, GraphView::kNew));
+  EXPECT_FALSE(g_.HasEdge(b, a, l, GraphView::kNew));
+}
+
+TEST_F(GraphTest, OverlayInsertVisibleOnlyInNewView) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b");
+  LabelId l = schema_->InternLabel("e");
+  ASSERT_TRUE(g_.InsertEdge(a, b, l).ok());
+  EXPECT_FALSE(g_.HasEdge(a, b, l, GraphView::kOld));
+  EXPECT_TRUE(g_.HasEdge(a, b, l, GraphView::kNew));
+  EXPECT_EQ(g_.NumEdges(GraphView::kOld), 0u);
+  EXPECT_EQ(g_.NumEdges(GraphView::kNew), 1u);
+  EXPECT_TRUE(g_.HasPendingUpdate());
+}
+
+TEST_F(GraphTest, OverlayDeleteVisibleOnlyInOldView) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b");
+  LabelId l = schema_->InternLabel("e");
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.DeleteEdge(a, b, l).ok());
+  EXPECT_TRUE(g_.HasEdge(a, b, l, GraphView::kOld));
+  EXPECT_FALSE(g_.HasEdge(a, b, l, GraphView::kNew));
+  EXPECT_EQ(g_.NumEdges(GraphView::kOld), 1u);
+  EXPECT_EQ(g_.NumEdges(GraphView::kNew), 0u);
+}
+
+TEST_F(GraphTest, DeleteNonexistentEdgeFails) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b");
+  LabelId l = schema_->InternLabel("e");
+  EXPECT_EQ(g_.DeleteEdge(a, b, l).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.DeleteEdge(a, b, l).ok());
+  // Double delete: the edge is no longer in G ⊕ ΔG.
+  EXPECT_EQ(g_.DeleteEdge(a, b, l).code(), StatusCode::kNotFound);
+}
+
+TEST_F(GraphTest, DeleteCancelsPendingInsert) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b");
+  LabelId l = schema_->InternLabel("e");
+  ASSERT_TRUE(g_.InsertEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.DeleteEdge(a, b, l).ok());
+  EXPECT_FALSE(g_.HasEdge(a, b, l, GraphView::kOld));
+  EXPECT_FALSE(g_.HasEdge(a, b, l, GraphView::kNew));
+  EXPECT_FALSE(g_.HasPendingUpdate());
+  EXPECT_FALSE(g_.EdgeStateOf(a, b, l).has_value());
+}
+
+TEST_F(GraphTest, ReinsertDeletedEdgeFoldsToBase) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b");
+  LabelId l = schema_->InternLabel("e");
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.DeleteEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.InsertEdge(a, b, l).ok());
+  EXPECT_TRUE(g_.HasEdge(a, b, l, GraphView::kOld));
+  EXPECT_TRUE(g_.HasEdge(a, b, l, GraphView::kNew));
+  EXPECT_FALSE(g_.HasPendingUpdate());
+  EXPECT_EQ(*g_.EdgeStateOf(a, b, l), EdgeState::kBase);
+}
+
+TEST_F(GraphTest, CommitFoldsOverlay) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b"), c = g_.AddNode("c");
+  LabelId l = schema_->InternLabel("e");
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.DeleteEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.InsertEdge(b, c, l).ok());
+  g_.Commit();
+  EXPECT_FALSE(g_.HasPendingUpdate());
+  EXPECT_FALSE(g_.HasEdge(a, b, l, GraphView::kOld));
+  EXPECT_TRUE(g_.HasEdge(b, c, l, GraphView::kOld));
+  EXPECT_EQ(g_.NumEdges(GraphView::kOld), 1u);
+  EXPECT_EQ(g_.NumEdges(GraphView::kNew), 1u);
+}
+
+TEST_F(GraphTest, RollbackRestoresOldView) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b"), c = g_.AddNode("c");
+  LabelId l = schema_->InternLabel("e");
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.DeleteEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.InsertEdge(b, c, l).ok());
+  g_.Rollback();
+  EXPECT_FALSE(g_.HasPendingUpdate());
+  EXPECT_TRUE(g_.HasEdge(a, b, l, GraphView::kNew));
+  EXPECT_FALSE(g_.HasEdge(b, c, l, GraphView::kNew));
+}
+
+TEST_F(GraphTest, DegreeRespectsView) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b"), c = g_.AddNode("c");
+  LabelId l = schema_->InternLabel("e");
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.InsertEdge(a, c, l).ok());
+  EXPECT_EQ(g_.Degree(a, GraphView::kOld), 1u);
+  EXPECT_EQ(g_.Degree(a, GraphView::kNew), 2u);
+  EXPECT_EQ(g_.AdjSize(a), 2u);
+}
+
+TEST_F(GraphTest, InOutAdjacencyConsistent) {
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b");
+  LabelId l = schema_->InternLabel("e");
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  ASSERT_EQ(g_.OutEdges(a).size(), 1u);
+  EXPECT_EQ(g_.OutEdges(a)[0].other, b);
+  ASSERT_EQ(g_.InEdges(b).size(), 1u);
+  EXPECT_EQ(g_.InEdges(b)[0].other, a);
+  EXPECT_TRUE(g_.OutEdges(b).empty());
+}
+
+// ---- d-hop neighborhoods ----------------------------------------------------
+
+TEST_F(GraphTest, DHopNeighborhoodPath) {
+  // 0 -> 1 -> 2 -> 3 -> 4 (chain).
+  LabelId l = schema_->InternLabel("e");
+  for (int i = 0; i < 5; ++i) g_.AddNode("n");
+  for (NodeId i = 0; i + 1 < 5; ++i) ASSERT_TRUE(g_.AddEdge(i, i + 1, l).ok());
+  NodeSet ball = DHopNeighborhood(g_, {2}, 1, GraphView::kNew);
+  EXPECT_EQ(ball.size(), 3u);  // {1, 2, 3} — undirected hops
+  EXPECT_TRUE(ball.Contains(1));
+  EXPECT_TRUE(ball.Contains(3));
+  EXPECT_FALSE(ball.Contains(0));
+  NodeSet ball2 = DHopNeighborhood(g_, {2}, 2, GraphView::kNew);
+  EXPECT_EQ(ball2.size(), 5u);
+}
+
+TEST_F(GraphTest, DHopNeighborhoodRespectsView) {
+  LabelId l = schema_->InternLabel("e");
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b"), c = g_.AddNode("c");
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  ASSERT_TRUE(g_.InsertEdge(b, c, l).ok());
+  NodeSet old_ball = DHopNeighborhood(g_, {a}, 2, GraphView::kOld);
+  EXPECT_FALSE(old_ball.Contains(c));
+  NodeSet new_ball = DHopNeighborhood(g_, {a}, 2, GraphView::kNew);
+  EXPECT_TRUE(new_ball.Contains(c));
+}
+
+TEST_F(GraphTest, NeighborhoodAdjSize) {
+  LabelId l = schema_->InternLabel("e");
+  NodeId a = g_.AddNode("a"), b = g_.AddNode("b");
+  ASSERT_TRUE(g_.AddEdge(a, b, l).ok());
+  NodeSet all = DHopNeighborhood(g_, {a}, 1, GraphView::kNew);
+  EXPECT_EQ(NeighborhoodAdjSize(g_, all), 2u);  // one edge seen from both
+}
+
+// ---- Text I/O ---------------------------------------------------------------
+
+TEST(GraphIoTest, RoundTrip) {
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  NodeId a = g.AddNode("person");
+  g.SetAttr(a, "age", Value(int64_t{30}));
+  g.SetAttr(a, "name", Value("alice"));
+  NodeId b = g.AddNode("city");
+  ASSERT_TRUE(g.AddEdge(a, b, "lives_in").ok());
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteGraphText(g, &os).ok());
+
+  std::istringstream is(os.str());
+  SchemaPtr schema2 = Schema::Create();
+  auto loaded = ReadGraphText(&is, schema2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& g2 = **loaded;
+  ASSERT_EQ(g2.NumNodes(), 2u);
+  EXPECT_EQ(g2.NodeLabelName(0), "person");
+  AttrId age = *schema2->attrs().Find("age");
+  AttrId name = *schema2->attrs().Find("name");
+  EXPECT_EQ(g2.GetAttr(0, age)->AsInt(), 30);
+  EXPECT_EQ(g2.GetAttr(0, name)->AsString(), "alice");
+  EXPECT_TRUE(
+      g2.HasEdge(0, 1, *schema2->labels().Find("lives_in"), GraphView::kNew));
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  SchemaPtr schema = Schema::Create();
+  {
+    std::istringstream is("X\tweird\n");
+    EXPECT_FALSE(ReadGraphText(&is, schema).ok());
+  }
+  {
+    std::istringstream is("N\tperson\tage=abc\n");
+    EXPECT_FALSE(ReadGraphText(&is, schema).ok());
+  }
+  {
+    std::istringstream is("N\tp\nE\t0\t5\te\n");
+    EXPECT_FALSE(ReadGraphText(&is, schema).ok());
+  }
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  SchemaPtr schema = Schema::Create();
+  std::istringstream is("# comment\n\nN\tperson\n");
+  auto loaded = ReadGraphText(&is, schema);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->NumNodes(), 1u);
+}
+
+// ---- Values -----------------------------------------------------------------
+
+TEST(ValueTest, TypesAndEquality) {
+  Value i(int64_t{42}), s("hello");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_EQ(s.AsString(), "hello");
+  EXPECT_EQ(i, Value(int64_t{42}));
+  EXPECT_NE(i, Value(int64_t{43}));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));  // typed inequality
+  EXPECT_EQ(i.ToString(), "42");
+  EXPECT_EQ(s.ToString(), "\"hello\"");
+  EXPECT_NE(i.Hash(), s.Hash());
+}
+
+}  // namespace
+}  // namespace ngd

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "reason/linear_solver.h"
+
+namespace ngd {
+namespace {
+
+LinConstraint C(std::vector<LinTerm> terms, CmpOp op, int64_t rhs) {
+  return LinConstraint{std::move(terms), op, rhs};
+}
+
+TEST(LinearSolverTest, TrivialSystemIsSat) {
+  LinearSolver solver(1);
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, 3));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kLe, 5));
+  std::vector<int64_t> sol;
+  ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
+  EXPECT_GE(sol[0], 3);
+  EXPECT_LE(sol[0], 5);
+}
+
+TEST(LinearSolverTest, EmptyIntervalIsUnsat) {
+  LinearSolver solver(1);
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, 6));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kLe, 5));
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+}
+
+TEST(LinearSolverTest, StrictInequalitiesOnIntegers) {
+  // 3 < x < 5 over Z forces x = 4.
+  LinearSolver solver(1);
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kGt, 3));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kLt, 5));
+  std::vector<int64_t> sol;
+  ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
+  EXPECT_EQ(sol[0], 4);
+  // 3 < x < 4 over Z is empty.
+  LinearSolver solver2(1);
+  solver2.AddConstraint(C({{0, 1}}, CmpOp::kGt, 3));
+  solver2.AddConstraint(C({{0, 1}}, CmpOp::kLt, 4));
+  EXPECT_EQ(solver2.Solve(), SolveResult::kUnsat);
+}
+
+TEST(LinearSolverTest, EqualityPropagates) {
+  // x = 7, x + y = 11 -> y = 4 (Example 5 arithmetic).
+  LinearSolver solver(2);
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kEq, 7));
+  solver.AddConstraint(C({{0, 1}, {1, 1}}, CmpOp::kEq, 11));
+  std::vector<int64_t> sol;
+  ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
+  EXPECT_EQ(sol[0], 7);
+  EXPECT_EQ(sol[1], 4);
+}
+
+TEST(LinearSolverTest, Example5Conflict) {
+  // x.A = 7, x.B = 7, x.A + x.B = 11: unsatisfiable (paper Example 5).
+  LinearSolver solver(2);
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kEq, 7));
+  solver.AddConstraint(C({{1, 1}}, CmpOp::kEq, 7));
+  solver.AddConstraint(C({{0, 1}, {1, 1}}, CmpOp::kEq, 11));
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+}
+
+TEST(LinearSolverTest, DisequalityForcesSplit) {
+  // 0 <= x <= 1, x != 0, x != 1: unsat.
+  LinearSolver solver(1);
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, 0));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kLe, 1));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kNe, 0));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kNe, 1));
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+  // Allowing x = 2 makes it sat.
+  LinearSolver solver2(1);
+  solver2.AddConstraint(C({{0, 1}}, CmpOp::kGe, 0));
+  solver2.AddConstraint(C({{0, 1}}, CmpOp::kLe, 2));
+  solver2.AddConstraint(C({{0, 1}}, CmpOp::kNe, 0));
+  solver2.AddConstraint(C({{0, 1}}, CmpOp::kNe, 1));
+  std::vector<int64_t> sol;
+  ASSERT_EQ(solver2.Solve(&sol), SolveResult::kSat);
+  EXPECT_EQ(sol[0], 2);
+}
+
+TEST(LinearSolverTest, NegativeCoefficients) {
+  // 2x - 3y <= -1, x >= 2 -> y >= (2x+1)/3 >= 5/3 -> y >= 2.
+  LinearSolver solver(2);
+  solver.AddConstraint(C({{0, 2}, {1, -3}}, CmpOp::kLe, -1));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, 2));
+  solver.AddConstraint(C({{1, 1}}, CmpOp::kLe, 10));
+  std::vector<int64_t> sol;
+  ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
+  EXPECT_GE(2 * sol[0] - 3 * sol[1], -100);
+  EXPECT_LE(2 * sol[0] - 3 * sol[1], -1);
+}
+
+TEST(LinearSolverTest, WitnessSatisfiesAllConstraints) {
+  LinearSolver solver(3);
+  solver.AddConstraint(C({{0, 1}, {1, 1}, {2, 1}}, CmpOp::kEq, 10));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, 1));
+  solver.AddConstraint(C({{1, 1}}, CmpOp::kGe, 2));
+  solver.AddConstraint(C({{2, 1}}, CmpOp::kGe, 3));
+  solver.AddConstraint(C({{0, 1}, {1, -1}}, CmpOp::kNe, 0));
+  std::vector<int64_t> sol;
+  ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
+  EXPECT_EQ(sol[0] + sol[1] + sol[2], 10);
+  EXPECT_NE(sol[0], sol[1]);
+}
+
+TEST(LinearSolverTest, UnboundedSatFindsSmallWitness) {
+  LinearSolver solver(1);
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, -1000000));
+  std::vector<int64_t> sol;
+  EXPECT_EQ(solver.Solve(&sol), SolveResult::kSat);
+}
+
+TEST(LinearSolverTest, NoConstraintsIsSat) {
+  LinearSolver solver(2);
+  std::vector<int64_t> sol;
+  EXPECT_EQ(solver.Solve(&sol), SolveResult::kSat);
+  EXPECT_EQ(sol.size(), 2u);
+}
+
+TEST(LinearSolverTest, ConstantOnlyConstraints) {
+  LinearSolver ok(0);
+  ok.AddConstraint(C({}, CmpOp::kLe, 5));  // 0 <= 5
+  EXPECT_EQ(ok.Solve(), SolveResult::kSat);
+  LinearSolver bad(0);
+  bad.AddConstraint(C({}, CmpOp::kGe, 5));  // 0 >= 5
+  EXPECT_EQ(bad.Solve(), SolveResult::kUnsat);
+}
+
+TEST(LinearSolverTest, DuplicateVarTermsAreCombined) {
+  // x + x <= 4 -> x <= 2.
+  LinearSolver solver(1);
+  solver.AddConstraint(C({{0, 1}, {0, 1}}, CmpOp::kLe, 4));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, 2));
+  std::vector<int64_t> sol;
+  ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
+  EXPECT_EQ(sol[0], 2);
+}
+
+TEST(LinearSolverTest, ChainPropagation) {
+  // x0 = x1 + 1 = x2 + 2 = ... = x5 + 5, x5 = 0 -> x0 = 5.
+  LinearSolver solver(6);
+  for (int i = 0; i < 5; ++i) {
+    solver.AddConstraint(C({{i, 1}, {i + 1, -1}}, CmpOp::kEq, 1));
+  }
+  solver.AddConstraint(C({{5, 1}}, CmpOp::kEq, 0));
+  std::vector<int64_t> sol;
+  ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
+  EXPECT_EQ(sol[0], 5);
+}
+
+TEST(LinearSolverTest, ManyDisequalitiesStillExact) {
+  // x in [0, 20], x != 0..9 -> x >= 10 exists.
+  LinearSolver solver(1);
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, 0));
+  solver.AddConstraint(C({{0, 1}}, CmpOp::kLe, 20));
+  for (int64_t k = 0; k < 10; ++k) {
+    solver.AddConstraint(C({{0, 1}}, CmpOp::kNe, k));
+  }
+  std::vector<int64_t> sol;
+  ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
+  EXPECT_GE(sol[0], 10);
+}
+
+}  // namespace
+}  // namespace ngd

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "core/ngd.h"
+#include "test_util.h"
+
+namespace ngd {
+namespace {
+
+class NgdTest : public ::testing::Test {
+ protected:
+  NgdTest() : schema_(Schema::Create()) {
+    person_ = schema_->InternLabel("person");
+    knows_ = schema_->InternLabel("knows");
+    age_ = schema_->InternAttr("age");
+  }
+
+  Pattern TwoNodePattern() {
+    Pattern p;
+    int x = p.AddNode("x", person_);
+    int y = p.AddNode("y", person_);
+    EXPECT_TRUE(p.AddEdge(x, y, knows_).ok());
+    return p;
+  }
+
+  SchemaPtr schema_;
+  LabelId person_, knows_;
+  AttrId age_;
+};
+
+TEST_F(NgdTest, ValidateAcceptsLinearRule) {
+  Ngd ngd("ok", TwoNodePattern(),
+          {Literal(Expr::Var(0, age_), CmpOp::kGe, Expr::IntConst(0))},
+          {Literal(Expr::Add(Expr::Var(0, age_), Expr::Var(1, age_)),
+                   CmpOp::kLe, Expr::IntConst(300))});
+  EXPECT_TRUE(ngd.Validate().ok());
+}
+
+TEST_F(NgdTest, ValidateRejectsEmptyPattern) {
+  Ngd ngd("empty", Pattern{}, {}, {});
+  EXPECT_EQ(ngd.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NgdTest, ValidateRejectsDuplicateVariables) {
+  Pattern p;
+  p.AddNode("x", person_);
+  p.AddNode("x", person_);
+  Ngd ngd("dup", std::move(p), {}, {});
+  EXPECT_EQ(ngd.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NgdTest, ValidateRejectsOutOfRangeVariable) {
+  Ngd ngd("oob", TwoNodePattern(), {},
+          {Literal(Expr::Var(5, age_), CmpOp::kEq, Expr::IntConst(1))});
+  Status s = ngd.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("outside the pattern"), std::string::npos);
+}
+
+TEST_F(NgdTest, ValidateRejectsNonLinearCitingTheorem3) {
+  // x.age * y.age — degree 2, undecidable territory.
+  Ngd ngd("quad", TwoNodePattern(), {},
+          {Literal(Expr::Mul(Expr::Var(0, age_), Expr::Var(1, age_)),
+                   CmpOp::kEq, Expr::IntConst(100))});
+  Status s = ngd.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("Theorem 3"), std::string::npos);
+}
+
+TEST_F(NgdTest, ValidateRejectsVariableDivisor) {
+  Ngd ngd("vardiv", TwoNodePattern(), {},
+          {Literal(Expr::Div(Expr::Var(0, age_), Expr::Var(1, age_)),
+                   CmpOp::kEq, Expr::IntConst(1))});
+  EXPECT_EQ(ngd.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NgdTest, GfdClassification) {
+  // GFD: x.age = 30 -> y.age = 30.
+  Ngd gfd("gfd", TwoNodePattern(),
+          {Literal(Expr::Var(0, age_), CmpOp::kEq, Expr::IntConst(30))},
+          {Literal(Expr::Var(1, age_), CmpOp::kEq, Expr::IntConst(30))});
+  EXPECT_TRUE(gfd.IsGfd());
+  EXPECT_FALSE(gfd.UsesArithmetic());
+  EXPECT_FALSE(gfd.UsesComparison());
+
+  // Comparison predicate beyond '=': a proper NGD.
+  Ngd cmp("cmp", TwoNodePattern(), {},
+          {Literal(Expr::Var(0, age_), CmpOp::kLe, Expr::Var(1, age_))});
+  EXPECT_FALSE(cmp.IsGfd());
+  EXPECT_TRUE(cmp.UsesComparison());
+  EXPECT_FALSE(cmp.UsesArithmetic());
+
+  // Arithmetic with '=' only: also a proper NGD.
+  Ngd arith("arith", TwoNodePattern(), {},
+            {Literal(Expr::Add(Expr::Var(0, age_), Expr::Var(1, age_)),
+                     CmpOp::kEq, Expr::IntConst(60))});
+  EXPECT_FALSE(arith.IsGfd());
+  EXPECT_TRUE(arith.UsesArithmetic());
+  EXPECT_FALSE(arith.UsesComparison());
+}
+
+TEST_F(NgdTest, PaperRulesClassifyAsNgds) {
+  SchemaPtr schema = Schema::Create();
+  NgdSet rules = testing_util::MustParse(
+      std::string(testing_util::kPhi1) + testing_util::kPhi2 +
+          testing_util::kPhi3 + testing_util::kPhi4,
+      schema);
+  ASSERT_EQ(rules.size(), 4u);
+  for (const auto& ngd : rules.ngds()) {
+    EXPECT_FALSE(ngd.IsGfd()) << ngd.name();
+  }
+  // φ2 uses arithmetic; φ3 uses comparisons; φ4 uses both.
+  EXPECT_TRUE(rules[1].UsesArithmetic());
+  EXPECT_TRUE(rules[2].UsesComparison());
+  EXPECT_TRUE(rules[3].UsesArithmetic());
+  EXPECT_TRUE(rules[3].UsesComparison());
+}
+
+TEST_F(NgdTest, MaxDiameterOverSet) {
+  SchemaPtr schema = Schema::Create();
+  NgdSet rules = testing_util::MustParse(
+      std::string(testing_util::kPhi1) + testing_util::kPhi3, schema);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].pattern().Diameter(), 2);  // φ1: star
+  EXPECT_EQ(rules[1].pattern().Diameter(), 4);  // φ3: rank pattern
+  EXPECT_EQ(rules.MaxDiameter(), 4);
+}
+
+TEST_F(NgdTest, ToStringRoundTripsThroughParser) {
+  SchemaPtr schema = Schema::Create();
+  NgdSet rules =
+      testing_util::MustParse(testing_util::kPhi2, schema);
+  ASSERT_EQ(rules.size(), 1u);
+  std::string text = rules[0].ToString(schema->labels(), schema->attrs());
+  auto reparsed = ParseNgd(text, schema);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  EXPECT_EQ(reparsed->name(), "phi2");
+  EXPECT_EQ(reparsed->pattern().NumNodes(), 4u);
+  EXPECT_EQ(reparsed->pattern().NumEdges(), 3u);
+  EXPECT_EQ(reparsed->Y().size(), 1u);
+}
+
+TEST_F(NgdTest, SetValidateAggregates) {
+  NgdSet set;
+  set.Add(Ngd("ok", TwoNodePattern(), {},
+              {Literal(Expr::Var(0, age_), CmpOp::kGe, Expr::IntConst(0))}));
+  EXPECT_TRUE(set.Validate().ok());
+  set.Add(Ngd("bad", TwoNodePattern(), {},
+              {Literal(Expr::Mul(Expr::Var(0, age_), Expr::Var(1, age_)),
+                       CmpOp::kEq, Expr::IntConst(1))}));
+  EXPECT_FALSE(set.Validate().ok());
+}
+
+}  // namespace
+}  // namespace ngd

@@ -1,0 +1,163 @@
+// Randomized model-checking of the Graph edge-state overlay.
+//
+// The overlay (kBase/kInserted/kDeleted with kOld/kNew views) is the
+// foundation every incremental result rests on, so it is fuzzed here
+// against a trivially-correct reference model: two plain edge sets (old
+// view, new view) updated by the same random operation sequence. After
+// every operation and after Commit/Rollback the views must agree exactly.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ngd {
+namespace {
+
+using EdgeTuple = std::tuple<NodeId, NodeId, LabelId>;
+
+struct ReferenceModel {
+  std::set<EdgeTuple> old_view;
+  std::set<EdgeTuple> new_view;
+};
+
+class OverlayFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OverlayFuzzTest, ViewsMatchReferenceModel) {
+  Rng rng(GetParam());
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  constexpr int kNodes = 12;
+  constexpr int kLabels = 3;
+  for (int i = 0; i < kNodes; ++i) g.AddNode("n");
+  std::vector<LabelId> labels;
+  for (int i = 0; i < kLabels; ++i) {
+    labels.push_back(schema->InternLabel("e" + std::to_string(i)));
+  }
+
+  ReferenceModel ref;
+  auto check = [&](const char* when, int step) {
+    for (NodeId s = 0; s < kNodes; ++s) {
+      for (NodeId d = 0; d < kNodes; ++d) {
+        for (LabelId l : labels) {
+          EdgeTuple key{s, d, l};
+          ASSERT_EQ(g.HasEdge(s, d, l, GraphView::kOld),
+                    ref.old_view.count(key) > 0)
+              << when << " step " << step << " old view edge " << s << "->"
+              << d;
+          ASSERT_EQ(g.HasEdge(s, d, l, GraphView::kNew),
+                    ref.new_view.count(key) > 0)
+              << when << " step " << step << " new view edge " << s << "->"
+              << d;
+        }
+      }
+    }
+    ASSERT_EQ(g.NumEdges(GraphView::kOld), ref.old_view.size());
+    ASSERT_EQ(g.NumEdges(GraphView::kNew), ref.new_view.size());
+  };
+
+  // Seed some base edges.
+  for (int i = 0; i < 20; ++i) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(0, kNodes - 1));
+    NodeId d = static_cast<NodeId>(rng.UniformInt(0, kNodes - 1));
+    LabelId l = rng.PickFrom(labels);
+    if (s == d) continue;
+    if (g.AddEdge(s, d, l).ok()) {
+      ref.old_view.insert({s, d, l});
+      ref.new_view.insert({s, d, l});
+    }
+  }
+  check("after seeding", -1);
+
+  for (int step = 0; step < 300; ++step) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(0, kNodes - 1));
+    NodeId d = static_cast<NodeId>(rng.UniformInt(0, kNodes - 1));
+    LabelId l = rng.PickFrom(labels);
+    EdgeTuple key{s, d, l};
+    int op = static_cast<int>(rng.UniformInt(0, 9));
+    if (op < 4) {
+      // InsertEdge: succeeds iff absent from the new view.
+      bool expect_ok = ref.new_view.count(key) == 0 && s < kNodes &&
+                       d < kNodes;
+      Status st = g.InsertEdge(s, d, l);
+      ASSERT_EQ(st.ok(), expect_ok) << st.ToString();
+      if (st.ok()) ref.new_view.insert(key);
+    } else if (op < 8) {
+      // DeleteEdge: succeeds iff present in the new view.
+      bool expect_ok = ref.new_view.count(key) > 0;
+      Status st = g.DeleteEdge(s, d, l);
+      ASSERT_EQ(st.ok(), expect_ok) << st.ToString();
+      if (st.ok()) ref.new_view.erase(key);
+    } else if (op == 8) {
+      g.Commit();
+      ref.old_view = ref.new_view;
+    } else {
+      g.Rollback();
+      ref.new_view = ref.old_view;
+    }
+    check("after op", step);
+  }
+
+  // Terminal commit must leave a consistent, overlay-free graph.
+  g.Commit();
+  ref.old_view = ref.new_view;
+  EXPECT_FALSE(g.HasPendingUpdate());
+  check("after final commit", 301);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlayFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Adjacency-list consistency under the same fuzz: every edge visible in a
+// view must appear in both endpoint adjacency lists with the right state.
+TEST(OverlayAdjacencyTest, AdjacencyMirrorsEdgeIndex) {
+  Rng rng(99);
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  for (int i = 0; i < 10; ++i) g.AddNode("n");
+  LabelId l = schema->InternLabel("e");
+  for (int step = 0; step < 200; ++step) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(0, 9));
+    NodeId d = static_cast<NodeId>(rng.UniformInt(0, 9));
+    if (s == d) continue;
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        (void)g.AddEdge(s, d, l);
+        break;
+      case 1:
+        (void)g.InsertEdge(s, d, l);
+        break;
+      case 2:
+        (void)g.DeleteEdge(s, d, l);
+        break;
+      default:
+        if (rng.Bernoulli(0.5)) {
+          g.Commit();
+        } else {
+          g.Rollback();
+        }
+    }
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      for (const auto& e : g.OutEdges(v)) {
+        auto state = g.EdgeStateOf(v, e.other, e.label);
+        ASSERT_TRUE(state.has_value());
+        ASSERT_EQ(*state, e.state);
+        // The mirror entry exists in the in-list with the same state.
+        bool found = false;
+        for (const auto& in : g.InEdges(e.other)) {
+          if (in.other == v && in.label == e.label) {
+            ASSERT_EQ(in.state, e.state);
+            found = true;
+          }
+        }
+        ASSERT_TRUE(found);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ngd

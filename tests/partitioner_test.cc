@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "parallel/partitioner.h"
+#include "parallel/work_unit.h"
+
+namespace ngd {
+namespace {
+
+TEST(PartitionerTest, CoversAllNodes) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(500, 1500, 3), schema);
+  PartitionResult r = PartitionGraph(*g, 4);
+  ASSERT_EQ(r.fragment_of.size(), g->NumNodes());
+  size_t total = 0;
+  for (size_t s : r.fragment_sizes) total += s;
+  EXPECT_EQ(total, g->NumNodes());
+  for (int f : r.fragment_of) {
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, 4);
+  }
+}
+
+TEST(PartitionerTest, FragmentsAreBalanced) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(1000, 3000, 4), schema);
+  PartitionResult r = PartitionGraph(*g, 5);
+  size_t expected = g->NumNodes() / 5;
+  for (size_t s : r.fragment_sizes) {
+    EXPECT_GE(s, expected * 7 / 10);
+    EXPECT_LE(s, expected * 13 / 10);
+  }
+}
+
+TEST(PartitionerTest, SinglePartitionHasNoCrossingEdges) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(200, 500, 5), schema);
+  PartitionResult r = PartitionGraph(*g, 1);
+  EXPECT_EQ(r.crossing_edges, 0u);
+  EXPECT_EQ(r.fragment_sizes[0], g->NumNodes());
+}
+
+TEST(PartitionerTest, LocalityBeatsRandomAssignment) {
+  // LDG should cut fewer edges than a hash partition on a clustered graph.
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  LabelId n = schema->InternLabel("n");
+  LabelId e = schema->InternLabel("e");
+  // 10 dense cliques of 20 nodes, loosely chained.
+  for (int c = 0; c < 10; ++c) {
+    NodeId base = static_cast<NodeId>(g.NumNodes());
+    for (int i = 0; i < 20; ++i) g.AddNode(n);
+    for (NodeId i = 0; i < 20; ++i) {
+      for (NodeId j = i + 1; j < 20; ++j) {
+        ASSERT_TRUE(g.AddEdge(base + i, base + j, e).ok());
+      }
+    }
+    if (c > 0) ASSERT_TRUE(g.AddEdge(base - 1, base, e).ok());
+  }
+  PartitionResult ldg = PartitionGraph(g, 5);
+  size_t random_cut = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const auto& adj : g.OutEdges(v)) {
+      if (v % 5 != adj.other % 5) ++random_cut;
+    }
+  }
+  EXPECT_LT(ldg.crossing_edges, random_cut / 2);
+}
+
+TEST(SkewnessTest, ComputesRelativeLoad) {
+  std::vector<double> skew = ComputeSkewness({30, 10, 10, 10});
+  ASSERT_EQ(skew.size(), 4u);
+  EXPECT_DOUBLE_EQ(skew[0], 2.0);  // 30 / avg(15)
+  EXPECT_DOUBLE_EQ(skew[1], 10.0 / 15.0);
+}
+
+TEST(SkewnessTest, HandlesEmptyAndZero) {
+  EXPECT_TRUE(ComputeSkewness({}).empty());
+  std::vector<double> zeros = ComputeSkewness({0, 0});
+  EXPECT_DOUBLE_EQ(zeros[0], 0.0);
+}
+
+}  // namespace
+}  // namespace ngd

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/pattern.h"
+
+namespace ngd {
+namespace {
+
+TEST(PatternTest, AddNodesAndFindVar) {
+  Pattern p;
+  int x = p.AddNode("x", 1);
+  int y = p.AddNode("y", 2);
+  EXPECT_EQ(p.NumNodes(), 2u);
+  EXPECT_EQ(p.FindVar("x"), x);
+  EXPECT_EQ(p.FindVar("y"), y);
+  EXPECT_EQ(p.FindVar("z"), -1);
+}
+
+TEST(PatternTest, AddEdgeValidation) {
+  Pattern p;
+  int x = p.AddNode("x", 1);
+  int y = p.AddNode("y", 2);
+  EXPECT_TRUE(p.AddEdge(x, y, 5).ok());
+  EXPECT_EQ(p.AddEdge(x, y, 5).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(p.AddEdge(y, x, 5).ok());  // reverse is distinct
+  EXPECT_TRUE(p.AddEdge(x, y, 6).ok());  // other label is distinct
+  EXPECT_EQ(p.AddEdge(x, 7, 5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternTest, AdjacencyHasDirections) {
+  Pattern p;
+  int x = p.AddNode("x", 1);
+  int y = p.AddNode("y", 2);
+  ASSERT_TRUE(p.AddEdge(x, y, 5).ok());
+  const auto& adj_x = p.Adjacency(x);
+  ASSERT_EQ(adj_x.size(), 1u);
+  EXPECT_EQ(adj_x[0].other, y);
+  EXPECT_TRUE(adj_x[0].out);
+  const auto& adj_y = p.Adjacency(y);
+  ASSERT_EQ(adj_y.size(), 1u);
+  EXPECT_FALSE(adj_y[0].out);
+}
+
+TEST(PatternTest, ConnectivitySingleNode) {
+  Pattern p;
+  p.AddNode("x", 1);
+  EXPECT_TRUE(p.IsConnected());
+  EXPECT_EQ(p.Diameter(), 0);
+}
+
+TEST(PatternTest, ConnectivityDisconnected) {
+  Pattern p;
+  p.AddNode("x", 1);
+  p.AddNode("y", 2);
+  EXPECT_FALSE(p.IsConnected());
+  EXPECT_EQ(p.Diameter(), -1);
+}
+
+TEST(PatternTest, DiameterPath) {
+  // x -> y -> z: diameter 2 (undirected).
+  Pattern p;
+  int x = p.AddNode("x", 1);
+  int y = p.AddNode("y", 1);
+  int z = p.AddNode("z", 1);
+  ASSERT_TRUE(p.AddEdge(x, y, 5).ok());
+  ASSERT_TRUE(p.AddEdge(y, z, 5).ok());
+  EXPECT_TRUE(p.IsConnected());
+  EXPECT_EQ(p.Diameter(), 2);
+}
+
+TEST(PatternTest, DiameterStar) {
+  // Center with 3 leaves: diameter 2.
+  Pattern p;
+  int c = p.AddNode("c", 1);
+  for (int i = 0; i < 3; ++i) {
+    int leaf = p.AddNode("l" + std::to_string(i), 2);
+    ASSERT_TRUE(p.AddEdge(c, leaf, 5).ok());
+  }
+  EXPECT_EQ(p.Diameter(), 2);
+}
+
+TEST(PatternTest, DiameterCycleIgnoresDirection) {
+  // Directed triangle: undirected diameter 1.
+  Pattern p;
+  int a = p.AddNode("a", 1);
+  int b = p.AddNode("b", 1);
+  int c = p.AddNode("c", 1);
+  ASSERT_TRUE(p.AddEdge(a, b, 5).ok());
+  ASSERT_TRUE(p.AddEdge(b, c, 5).ok());
+  ASSERT_TRUE(p.AddEdge(c, a, 5).ok());
+  EXPECT_EQ(p.Diameter(), 1);
+}
+
+TEST(PatternTest, SetNodeLabelRefinesWildcard) {
+  Pattern p;
+  int x = p.AddNode("x", kWildcardLabel);
+  EXPECT_EQ(p.node(x).label, kWildcardLabel);
+  p.SetNodeLabel(x, 7);
+  EXPECT_EQ(p.node(x).label, 7u);
+}
+
+TEST(PatternTest, ToStringListsNodesAndEdges) {
+  SchemaPtr schema = Schema::Create();
+  LabelId person = schema->InternLabel("person");
+  LabelId knows = schema->InternLabel("knows");
+  Pattern p;
+  int x = p.AddNode("x", person);
+  int y = p.AddNode("y", kWildcardLabel);
+  ASSERT_TRUE(p.AddEdge(x, y, knows).ok());
+  std::string s = p.ToString(schema->labels());
+  EXPECT_NE(s.find("(x:person)"), std::string::npos);
+  EXPECT_NE(s.find("(y:_)"), std::string::npos);
+  EXPECT_NE(s.find("-[knows]->"), std::string::npos);
+}
+
+TEST(PatternTest, SelfLoopPatternEdge) {
+  Pattern p;
+  int x = p.AddNode("x", 1);
+  ASSERT_TRUE(p.AddEdge(x, x, 5).ok());
+  EXPECT_TRUE(p.IsConnected());
+  EXPECT_EQ(p.Diameter(), 0);
+  // Self-loop contributes two adjacency entries on the same node.
+  EXPECT_EQ(p.Adjacency(x).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ngd

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "detect/dect.h"
+#include "discovery/ngd_generator.h"
+#include "graph/generators.h"
+#include "parallel/pdect.h"
+#include "test_util.h"
+
+namespace ngd {
+namespace {
+
+class PDectTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PDectTest, MatchesSequentialDect) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(600, 1500, 21), schema);
+  NgdGenOptions gen;
+  gen.count = 10;
+  gen.max_diameter = 3;
+  gen.seed = 22;
+  gen.violation_rate = 0.25;
+  NgdSet sigma = GenerateNgdSet(*g, gen);
+  ASSERT_GT(sigma.size(), 0u);
+
+  VioSet sequential = Dect(*g, sigma);
+  PDectOptions opts;
+  opts.num_processors = GetParam();
+  PDectResult parallel = PDect(*g, sigma, opts);
+  EXPECT_EQ(parallel.vio.size(), sequential.size());
+  for (const auto& v : sequential.items()) {
+    EXPECT_TRUE(parallel.vio.Contains(v));
+  }
+  EXPECT_GT(parallel.elapsed_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Processors, PDectTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(PDectFixedTest, FindsPaperFig1Violations) {
+  auto g = testing_util::BuildG4();
+  NgdSet rules = testing_util::MustParse(testing_util::kPhi4, g.schema);
+  PDectOptions opts;
+  opts.num_processors = 3;
+  PDectResult r = PDect(*g.graph, rules, opts);
+  EXPECT_EQ(r.vio.size(), 1u);
+}
+
+TEST(PDectFixedTest, EmptyRuleSetYieldsNoViolations) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(100, 200, 1), schema);
+  PDectOptions opts;
+  opts.num_processors = 2;
+  EXPECT_TRUE(PDect(*g, NgdSet{}, opts).vio.empty());
+}
+
+}  // namespace
+}  // namespace ngd

@@ -1,0 +1,245 @@
+// The paper's Example 5 and §4 analyses, end to end.
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "reason/implication.h"
+#include "reason/satisfiability.h"
+#include "test_util.h"
+
+namespace ngd {
+namespace {
+
+using testing_util::MustParse;
+
+// φ5 = Q[x](∅ -> x.A = 7 ∧ x.B = 7), Q a single wildcard node.
+constexpr const char* kPhi5 = R"(
+ngd phi5 { match (x:_) then x.A = 7, x.B = 7 }
+)";
+// φ6 = Q[x](∅ -> x.A + x.B = 11), same wildcard pattern.
+constexpr const char* kPhi6 = R"(
+ngd phi6 { match (x:_) then x.A + x.B = 11 }
+)";
+// φ6' with pattern labelled 'a'.
+constexpr const char* kPhi6a = R"(
+ngd phi6a { match (x:a) then x.A + x.B = 11 }
+)";
+
+TEST(SatisfiabilityTest, SingleRuleIsSatisfiable) {
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(kPhi5, schema);
+  auto report = CheckSatisfiability(sigma, schema);
+  EXPECT_EQ(report.satisfiable, Decision::kYes);
+  EXPECT_NE(report.detail.find("=7"), std::string::npos);
+}
+
+TEST(SatisfiabilityTest, Example5ConflictIsUnsatisfiable) {
+  // φ5 and φ6 on the same wildcard pattern: A = B = 7 but A + B = 11.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(std::string(kPhi5) + kPhi6, schema);
+  ASSERT_EQ(sigma.size(), 2u);
+  auto report = CheckSatisfiability(sigma, schema);
+  EXPECT_EQ(report.satisfiable, Decision::kNo);
+}
+
+TEST(SatisfiabilityTest, Example5LabelledVariantIsSatisfiable) {
+  // Replacing φ6's pattern with label 'a' makes Σ0 satisfiable: a model
+  // whose only node carries a different label (the paper's node labelled
+  // 'b'; here a fresh wildcard stand-in) satisfies both.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(std::string(kPhi5) + kPhi6a, schema);
+  auto report = CheckSatisfiability(sigma, schema);
+  EXPECT_EQ(report.satisfiable, Decision::kYes);
+}
+
+TEST(SatisfiabilityTest, Example5LabelledVariantNotStronglySatisfiable) {
+  // But strong satisfiability fails: once the 'a' pattern must also find
+  // a match, the wildcard pattern of φ5 hits that node too.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(std::string(kPhi5) + kPhi6a, schema);
+  auto report = CheckStrongSatisfiability(sigma, schema);
+  EXPECT_EQ(report.satisfiable, Decision::kNo);
+}
+
+TEST(SatisfiabilityTest, Example5ComparisonTrioUnsatisfiable) {
+  // φ7 = x.A <= 3 -> x.B > 6; φ8 = x.A > 3 -> x.B > 6;
+  // φ9 = ∅ -> x.B < 6 ∧ x.A != 0. Together unsatisfiable.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(R"(
+    ngd phi7 { match (x:_) where x.A <= 3 then x.B > 6 }
+    ngd phi8 { match (x:_) where x.A > 3 then x.B > 6 }
+    ngd phi9 { match (x:_) then x.B < 6, x.A != 0 }
+  )",
+                           schema);
+  ASSERT_EQ(sigma.size(), 3u);
+  auto report = CheckSatisfiability(sigma, schema);
+  EXPECT_EQ(report.satisfiable, Decision::kNo);
+}
+
+TEST(SatisfiabilityTest, AttributeAbsenceSatisfiesImplications) {
+  // x.A <= 3 -> x.B > 6 alone IS satisfiable: a node without attribute A
+  // vacuously satisfies the implication (condition (a)).
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(
+      "ngd phi7 { match (x:_) where x.A <= 3 then x.B > 6 }", schema);
+  auto report = CheckSatisfiability(sigma, schema);
+  EXPECT_EQ(report.satisfiable, Decision::kYes);
+}
+
+TEST(SatisfiabilityTest, StringConstantRules) {
+  SchemaPtr schema = Schema::Create();
+  // Satisfiable: category may be something else.
+  NgdSet ok = MustParse(
+      R"(ngd s1 { match (x:person) where x.birth < 1800
+                 then x.cat != "living people" })",
+      schema);
+  EXPECT_EQ(CheckSatisfiability(ok, schema).satisfiable, Decision::kYes);
+  // Unsatisfiable pair: cat must equal two different constants.
+  NgdSet bad = MustParse(
+      R"(ngd s2 { match (x:person) then x.cat = "alpha" }
+         ngd s3 { match (x:person) then x.cat = "beta" })",
+      schema);
+  EXPECT_EQ(CheckSatisfiability(bad, schema).satisfiable, Decision::kNo);
+}
+
+TEST(SatisfiabilityTest, AbsRulesAreCaseSplit) {
+  SchemaPtr schema = Schema::Create();
+  // |x.A| = -1 is unsatisfiable.
+  NgdSet bad =
+      MustParse("ngd a1 { match (x:t) then abs(x.A) = 0 - 1 }", schema);
+  EXPECT_EQ(CheckSatisfiability(bad, schema).satisfiable, Decision::kNo);
+  // |x.A| = 5 with x.A < 0 forces x.A = -5: satisfiable.
+  NgdSet ok = MustParse(
+      "ngd a2 { match (x:t) then abs(x.A) = 5, x.A < 0 }", schema);
+  EXPECT_EQ(CheckSatisfiability(ok, schema).satisfiable, Decision::kYes);
+}
+
+TEST(SatisfiabilityTest, PaperRulesAreStronglySatisfiable) {
+  // The four running-example rules do not conflict with one another.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(std::string(testing_util::kPhi1) +
+                               testing_util::kPhi2 + testing_util::kPhi4,
+                           schema);
+  auto report = CheckStrongSatisfiability(sigma, schema);
+  EXPECT_EQ(report.satisfiable, Decision::kYes) << report.detail;
+}
+
+TEST(SatisfiabilityTest, RejectsNonLinearWithUnknown) {
+  SchemaPtr schema = Schema::Create();
+  AttrId a = schema->InternAttr("A");
+  Pattern p;
+  int x = p.AddNode("x", schema->InternLabel("t"));
+  NgdSet sigma;
+  sigma.Add(Ngd("quad", std::move(p), {},
+                {Literal(Expr::Mul(Expr::Var(x, a), Expr::Var(x, a)),
+                         CmpOp::kEq, Expr::IntConst(4))}));
+  auto report = CheckSatisfiability(sigma, schema);
+  EXPECT_EQ(report.satisfiable, Decision::kUnknown);
+  EXPECT_NE(report.detail.find("Theorem 3"), std::string::npos);
+}
+
+// ---- Implication -------------------------------------------------------------
+
+TEST(ImplicationTest, ArithmeticConsequenceIsImplied) {
+  // {φ5} |= Q[x](∅ -> x.A + x.B = 14).
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(kPhi5, schema);
+  auto phi = ParseNgd("ngd c { match (x:_) then x.A + x.B = 14 }", schema);
+  ASSERT_TRUE(phi.ok());
+  auto report = CheckImplication(sigma, *phi, schema);
+  EXPECT_EQ(report.implied, Decision::kYes) << report.detail;
+}
+
+TEST(ImplicationTest, NonConsequenceHasWitness) {
+  // {φ5} does not imply x.A + x.B = 15.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(kPhi5, schema);
+  auto phi = ParseNgd("ngd c { match (x:_) then x.A + x.B = 15 }", schema);
+  ASSERT_TRUE(phi.ok());
+  auto report = CheckImplication(sigma, *phi, schema);
+  EXPECT_EQ(report.implied, Decision::kNo);
+  EXPECT_NE(report.detail.find("counterexample"), std::string::npos);
+}
+
+TEST(ImplicationTest, ComparisonWeakeningIsImplied) {
+  // {x.A = 7} |= x.A >= 5.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse("ngd s { match (x:t) then x.A = 7 }", schema);
+  auto phi = ParseNgd("ngd w { match (x:t) then x.A >= 5 }", schema);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(CheckImplication(sigma, *phi, schema).implied, Decision::kYes);
+}
+
+TEST(ImplicationTest, DifferentLabelIsNotImplied) {
+  // Σ constrains label 't' nodes; φ talks about label 'u' nodes.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse("ngd s { match (x:t) then x.A = 7 }", schema);
+  auto phi = ParseNgd("ngd u { match (x:u) then x.A = 7 }", schema);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(CheckImplication(sigma, *phi, schema).implied, Decision::kNo);
+}
+
+TEST(ImplicationTest, EmptySigmaImpliesNothingFalsifiable) {
+  SchemaPtr schema = Schema::Create();
+  auto phi = ParseNgd("ngd c { match (x:t) then x.A = 1 }", schema);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(CheckImplication(NgdSet{}, *phi, schema).implied, Decision::kNo);
+}
+
+TEST(ImplicationTest, SelfImplication) {
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse("ngd s { match (x:t) then x.A <= 3 }", schema);
+  auto phi = ParseNgd("ngd c { match (x:t) then x.A <= 3 }", schema);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(CheckImplication(sigma, *phi, schema).implied, Decision::kYes);
+}
+
+TEST(ImplicationTest, PreconditionedRuleImplication) {
+  // {x.A > 10 -> x.B = 1} |= {x.A > 20 -> x.B = 1} (stronger premise).
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(
+      "ngd s { match (x:t) where x.A > 10 then x.B = 1 }", schema);
+  auto phi = ParseNgd(
+      "ngd c { match (x:t) where x.A > 20 then x.B = 1 }", schema);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(CheckImplication(sigma, *phi, schema).implied, Decision::kYes);
+  // And not vice versa.
+  NgdSet sigma2 = MustParse(
+      "ngd s2 { match (x:t) where x.A > 20 then x.B = 1 }", schema);
+  auto phi2 = ParseNgd(
+      "ngd c2 { match (x:t) where x.A > 10 then x.B = 1 }", schema);
+  ASSERT_TRUE(phi2.ok());
+  EXPECT_EQ(CheckImplication(sigma2, *phi2, schema).implied, Decision::kNo);
+}
+
+// ---- Canonical model construction ---------------------------------------------
+
+TEST(CanonicalModelTest, WildcardsGetFreshLabels) {
+  SchemaPtr schema = Schema::Create();
+  Pattern p;
+  p.AddNode("x", kWildcardLabel);
+  p.AddNode("y", schema->InternLabel("city"));
+  ASSERT_TRUE(p.AddEdge(0, 1, schema->InternLabel("e")).ok());
+  std::vector<NodeId> offsets;
+  auto model = BuildCanonicalModel({&p}, schema, &offsets);
+  ASSERT_EQ(model->NumNodes(), 2u);
+  EXPECT_EQ(offsets, (std::vector<NodeId>{0}));
+  EXPECT_NE(model->NodeLabel(0), kWildcardLabel);
+  EXPECT_NE(model->NodeLabelName(0), "city");
+  EXPECT_EQ(model->NodeLabelName(1), "city");
+  EXPECT_TRUE(model->HasEdge(0, 1, *schema->labels().Find("e"),
+                             GraphView::kNew));
+}
+
+TEST(CanonicalModelTest, FreshLabelsAreUniqueAcrossPatterns) {
+  SchemaPtr schema = Schema::Create();
+  Pattern p1, p2;
+  p1.AddNode("x", kWildcardLabel);
+  p2.AddNode("x", kWildcardLabel);
+  auto model = BuildCanonicalModel({&p1, &p2}, schema, nullptr);
+  ASSERT_EQ(model->NumNodes(), 2u);
+  EXPECT_NE(model->NodeLabel(0), model->NodeLabel(1));
+}
+
+}  // namespace
+}  // namespace ngd

@@ -1,0 +1,182 @@
+// Shared fixtures: the paper's Fig. 1 graphs G1–G4 and Example 3 rules
+// φ1–φ4, plus small helpers used across the suite.
+
+#ifndef NGD_TESTS_TEST_UTIL_H_
+#define NGD_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/parser.h"
+#include "graph/graph.h"
+
+namespace ngd {
+namespace testing_util {
+
+// ---- Example 3 rules (φ1–φ4), in the DSL --------------------------------
+
+// φ1: an entity cannot be destroyed within c = 100 days of its creation.
+inline constexpr const char* kPhi1 = R"(
+ngd phi1 {
+  match (x:_)-[wasCreatedOnDate]->(y:date), (x)-[wasDestroyedOnDate]->(z:date)
+  then z.val - y.val >= 100
+}
+)";
+
+// φ2: total population = female + male.
+inline constexpr const char* kPhi2 = R"(
+ngd phi2 {
+  match (x:area)-[femalePopulation]->(y:integer),
+        (x)-[malePopulation]->(z:integer),
+        (x)-[populationTotal]->(w:integer)
+  then y.val + z.val = w.val
+}
+)";
+
+// φ3: smaller population in the same census => numerically larger
+// (worse) populationRank.
+inline constexpr const char* kPhi3 = R"(
+ngd phi3 {
+  match (x:place)-[partof]->(z:place), (y:place)-[partof]->(z:place),
+        (x)-[population]->(m1:integer), (y)-[population]->(m2:integer),
+        (x)-[populationRank]->(n1:integer), (y)-[populationRank]->(n2:integer),
+        (m1)-[date]->(w:date), (m2)-[date]->(w:date)
+  where m1.val < m2.val
+  then n1.val > n2.val
+}
+)";
+
+// φ4: a = b = 1, c = 10000: big follower/following deficit vs a real
+// account means the other account must be flagged fake (status 0).
+inline constexpr const char* kPhi4 = R"(
+ngd phi4 {
+  match (x:account)-[keys]->(w:company), (y:account)-[keys]->(w:company),
+        (x)-[following]->(m1:integer), (y)-[following]->(m2:integer),
+        (x)-[follower]->(n1:integer), (y)-[follower]->(n2:integer),
+        (x)-[status]->(s1:boolean), (y)-[status]->(s2:boolean)
+  where s1.val = 1,
+        1 * (m1.val - m2.val) + 1 * (n1.val - n2.val) > 10000
+  then s2.val = 0
+}
+)";
+
+// ---- Fig. 1 graphs -------------------------------------------------------
+
+struct NamedGraph {
+  SchemaPtr schema;
+  std::unique_ptr<Graph> graph;
+};
+
+/// G1: BBC_Trust created 2007, destroyed 1946 (violates φ1).
+/// val attributes are day numbers; any created > destroyed pair works.
+inline NamedGraph BuildG1() {
+  NamedGraph g{Schema::Create(), nullptr};
+  g.graph = std::make_unique<Graph>(g.schema);
+  NodeId trust = g.graph->AddNode("institution");
+  NodeId created = g.graph->AddNode("date");
+  g.graph->SetAttr(created, "val", Value(int64_t{732800}));  // 2007-ish
+  NodeId destroyed = g.graph->AddNode("date");
+  g.graph->SetAttr(destroyed, "val", Value(int64_t{710700}));  // 1946-08-28
+  (void)g.graph->AddEdge(trust, created, "wasCreatedOnDate");
+  (void)g.graph->AddEdge(trust, destroyed, "wasDestroyedOnDate");
+  return g;
+}
+
+/// G2: Bhonpur, 600 female + 722 male but total 1572 (violates φ2).
+inline NamedGraph BuildG2() {
+  NamedGraph g{Schema::Create(), nullptr};
+  g.graph = std::make_unique<Graph>(g.schema);
+  NodeId area = g.graph->AddNode("area");
+  auto add_int = [&](const char* label, int64_t v) {
+    NodeId n = g.graph->AddNode(label);
+    g.graph->SetAttr(n, "val", Value(v));
+    return n;
+  };
+  (void)g.graph->AddEdge(area, add_int("integer", 600), "femalePopulation");
+  (void)g.graph->AddEdge(area, add_int("integer", 722), "malePopulation");
+  (void)g.graph->AddEdge(area, add_int("integer", 1572), "populationTotal");
+  return g;
+}
+
+/// G3: Corona (pop 160000, rank 33) vs Downey (pop 111772, rank 11) in
+/// California — Downey has fewer people but a better rank (violates φ3).
+inline NamedGraph BuildG3() {
+  NamedGraph g{Schema::Create(), nullptr};
+  g.graph = std::make_unique<Graph>(g.schema);
+  NodeId california = g.graph->AddNode("place");
+  NodeId corona = g.graph->AddNode("place");
+  NodeId downey = g.graph->AddNode("place");
+  (void)g.graph->AddEdge(corona, california, "partof");
+  (void)g.graph->AddEdge(downey, california, "partof");
+  auto add_int = [&](int64_t v) {
+    NodeId n = g.graph->AddNode("integer");
+    g.graph->SetAttr(n, "val", Value(v));
+    return n;
+  };
+  NodeId pop_corona = add_int(160000);
+  NodeId pop_downey = add_int(111772);
+  NodeId rank_corona = add_int(33);
+  NodeId rank_downey = add_int(11);
+  (void)g.graph->AddEdge(corona, pop_corona, "population");
+  (void)g.graph->AddEdge(downey, pop_downey, "population");
+  (void)g.graph->AddEdge(corona, rank_corona, "populationRank");
+  (void)g.graph->AddEdge(downey, rank_downey, "populationRank");
+  NodeId census = g.graph->AddNode("date");
+  g.graph->SetAttr(census, "val", Value(int64_t{20140401}));
+  (void)g.graph->AddEdge(pop_corona, census, "date");
+  (void)g.graph->AddEdge(pop_downey, census, "date");
+  return g;
+}
+
+/// G4: NatWest with a real account (75900 followers / 22000 following /
+/// status 1) and NatWest_Help (2 followers / 1 following / status 1 —
+/// claims real, violates φ4).
+struct G4Nodes {
+  NodeId company;
+  NodeId real_account;
+  NodeId fake_account;
+  NodeId fake_status;
+};
+
+inline NamedGraph BuildG4(G4Nodes* nodes = nullptr) {
+  NamedGraph g{Schema::Create(), nullptr};
+  g.graph = std::make_unique<Graph>(g.schema);
+  NodeId natwest = g.graph->AddNode("company");
+  auto add_int = [&](const char* label, int64_t v) {
+    NodeId n = g.graph->AddNode(label);
+    g.graph->SetAttr(n, "val", Value(v));
+    return n;
+  };
+  NodeId real = g.graph->AddNode("account");
+  (void)g.graph->AddEdge(real, natwest, "keys");
+  (void)g.graph->AddEdge(real, add_int("integer", 75900), "follower");
+  (void)g.graph->AddEdge(real, add_int("integer", 22000), "following");
+  (void)g.graph->AddEdge(real, add_int("boolean", 1), "status");
+  NodeId fake = g.graph->AddNode("account");
+  NodeId fake_status = add_int("boolean", 1);  // claims to be real: error
+  (void)g.graph->AddEdge(fake, natwest, "keys");
+  (void)g.graph->AddEdge(fake, add_int("integer", 2), "follower");
+  (void)g.graph->AddEdge(fake, add_int("integer", 1), "following");
+  (void)g.graph->AddEdge(fake, fake_status, "status");
+  if (nodes != nullptr) {
+    *nodes = G4Nodes{natwest, real, fake, fake_status};
+  }
+  return g;
+}
+
+/// Parses a rule set or aborts the test.
+inline NgdSet MustParse(const std::string& text, const SchemaPtr& schema) {
+  auto result = ParseNgds(text, schema);
+  if (!result.ok()) {
+    ADD_FAILURE() << "parse failed: " << result.status().ToString();
+    return NgdSet{};
+  }
+  return std::move(result).value();
+}
+
+}  // namespace testing_util
+}  // namespace ngd
+
+#endif  // NGD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/updates.h"
+
+namespace ngd {
+namespace {
+
+TEST(UpdatesTest, GeneratesRequestedFraction) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(1000, 3000, 7), schema);
+  size_t edges = g->NumEdges(GraphView::kNew);
+  UpdateGenOptions opts;
+  opts.fraction = 0.10;
+  opts.seed = 1;
+  UpdateBatch batch = GenerateUpdateBatch(g.get(), opts);
+  // Within 20% of the target (insert rewires can be skipped on conflicts).
+  EXPECT_GT(batch.size(), static_cast<size_t>(0.07 * edges));
+  EXPECT_LE(batch.size(), static_cast<size_t>(0.12 * edges));
+}
+
+TEST(UpdatesTest, InsertDeleteRatio) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(1000, 3000, 7), schema);
+  UpdateGenOptions opts;
+  opts.fraction = 0.2;
+  opts.insert_fraction = 0.5;
+  opts.seed = 2;
+  UpdateBatch batch = GenerateUpdateBatch(g.get(), opts);
+  double ratio = static_cast<double>(batch.NumInsertions()) /
+                 std::max<size_t>(1, batch.NumDeletions());
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(UpdatesTest, DeletionsReferenceExistingBaseEdges) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(300, 900, 7), schema);
+  UpdateGenOptions opts;
+  opts.fraction = 0.3;
+  opts.seed = 3;
+  UpdateBatch batch = GenerateUpdateBatch(g.get(), opts);
+  for (const auto& u : batch.updates) {
+    if (u.kind == UpdateKind::kDelete) {
+      EXPECT_TRUE(g->HasEdge(u.src, u.dst, u.label, GraphView::kOld));
+    }
+  }
+}
+
+TEST(UpdatesTest, ApplyCreatesOverlayAndFiltersNoOps) {
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  NodeId a = g.AddNode("a"), b = g.AddNode("b"), c = g.AddNode("c");
+  LabelId l = schema->InternLabel("e");
+  ASSERT_TRUE(g.AddEdge(a, b, l).ok());
+
+  UpdateBatch batch;
+  batch.updates.push_back({UpdateKind::kInsert, b, c, l});
+  batch.updates.push_back({UpdateKind::kInsert, a, b, l});  // no-op: exists
+  batch.updates.push_back({UpdateKind::kDelete, a, c, l});  // no-op: absent
+  batch.updates.push_back({UpdateKind::kDelete, a, b, l});
+  ASSERT_TRUE(ApplyUpdateBatch(&g, &batch).ok());
+  EXPECT_EQ(batch.size(), 2u);  // the two no-ops were dropped
+  EXPECT_TRUE(g.HasEdge(b, c, l, GraphView::kNew));
+  EXPECT_FALSE(g.HasEdge(a, b, l, GraphView::kNew));
+  EXPECT_TRUE(g.HasEdge(a, b, l, GraphView::kOld));
+}
+
+TEST(UpdatesTest, NewNodeInsertionsCloneLabelAndAttrs) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(200, 600, 7), schema);
+  size_t nodes_before = g->NumNodes();
+  UpdateGenOptions opts;
+  opts.fraction = 0.5;
+  opts.insert_fraction = 1.0;
+  opts.new_node_prob = 1.0;  // every insertion creates a node
+  opts.seed = 4;
+  UpdateBatch batch = GenerateUpdateBatch(g.get(), opts);
+  EXPECT_GT(g->NumNodes(), nodes_before);
+  EXPECT_GT(batch.NumInsertions(), 0u);
+  EXPECT_EQ(batch.NumDeletions(), 0u);
+  // New nodes carry attributes (cloned shape).
+  bool found_attr = false;
+  for (NodeId v = static_cast<NodeId>(nodes_before); v < g->NumNodes(); ++v) {
+    if (!g->Attrs(v).empty()) found_attr = true;
+  }
+  EXPECT_TRUE(found_attr);
+}
+
+TEST(UpdatesTest, GammaBiasControlsGrowth) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(500, 1500, 7), schema);
+  UpdateGenOptions opts;
+  opts.fraction = 0.2;
+  opts.insert_fraction = 0.9;  // γ = 9: mostly insertions
+  opts.seed = 5;
+  UpdateBatch batch = GenerateUpdateBatch(g.get(), opts);
+  EXPECT_GT(batch.NumInsertions(), batch.NumDeletions() * 4);
+}
+
+TEST(UpdatesTest, GeneratedInsertionsApplyCleanly) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(400, 1200, 7), schema);
+  size_t before_new = g->NumEdges(GraphView::kNew);
+  UpdateGenOptions opts;
+  opts.fraction = 0.15;
+  opts.seed = 6;
+  UpdateBatch batch = GenerateUpdateBatch(g.get(), opts);
+  size_t declared = batch.size();
+  ASSERT_TRUE(ApplyUpdateBatch(g.get(), &batch).ok());
+  // Most generated updates are effective (duplicates within the batch are
+  // the only shrink source).
+  EXPECT_GE(batch.size(), declared * 9 / 10);
+  size_t after_new = g->NumEdges(GraphView::kNew);
+  EXPECT_EQ(after_new,
+            before_new + batch.NumInsertions() - batch.NumDeletions());
+}
+
+}  // namespace
+}  // namespace ngd

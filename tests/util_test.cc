@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rational.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace ngd {
+namespace {
+
+// ---- Status / StatusOr ----------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rule");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rule");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kCorruption, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kResourceExhausted}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::OutOfRange("not positive");
+  return v;
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> good = ParsePositive(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 4);
+  StatusOr<int> bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> UsesAssignOrReturn(int v) {
+  NGD_ASSIGN_OR_RETURN(int doubled, ParsePositive(v));
+  return doubled * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto ok = UsesAssignOrReturn(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 6);
+  EXPECT_FALSE(UsesAssignOrReturn(0).ok());
+}
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextUint64() != b.NextUint64()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(5);
+  size_t low = 0;
+  const size_t trials = 4000;
+  for (size_t i = 0; i < trials; ++i) {
+    if (rng.Zipf(50, 1.2) < 5) ++low;
+  }
+  // Uniform would put ~10% in the first 5 ranks; zipf(1.2) far more.
+  EXPECT_GT(low, trials / 4);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(5);
+  for (size_t n : {size_t{1}, size_t{10}, size_t{100}, size_t{5000}}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Zipf(n, 0.9), n);
+    }
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextUint64(), child.NextUint64());
+}
+
+// ---- Rational --------------------------------------------------------------
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+  EXPECT_EQ(Rational(-7, 3).Abs(), Rational(7, 3));
+}
+
+TEST(RationalTest, DivisionRoundTripsExactly) {
+  // (x / 2) * 2 == x must hold for odd x — the reason evaluation is
+  // rational rather than integer-truncating.
+  Rational x(7);
+  EXPECT_EQ(x / Rational(2) * Rational(2), x);
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_NE(Rational(1, 3), Rational(2, 3));
+}
+
+TEST(RationalTest, LargeValueComparisonDoesNotOverflow) {
+  Rational big1(int64_t{3037000498}, 1);
+  Rational big2(int64_t{3037000499}, 1);
+  EXPECT_LT(big1, big2);
+  EXPECT_LT(Rational(1, int64_t{1000000007}),
+            Rational(2, int64_t{1000000007}));
+}
+
+TEST(RationalTest, ToStringAndToInteger) {
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(5, 2).ToString(), "5/2");
+  EXPECT_TRUE(Rational(10, 5).IsInteger());
+  EXPECT_EQ(Rational(10, 5).ToInteger(), 2);
+}
+
+// ---- String helpers ---------------------------------------------------------
+
+TEST(StringUtilTest, StrSplit) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64(" -7 ").value(), -7);
+  EXPECT_FALSE(ParseInt64("12x").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+}
+
+TEST(StringUtilTest, JoinAndStartsWith) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_TRUE(StartsWith("ngdlib", "ngd"));
+  EXPECT_FALSE(StartsWith("ng", "ngd"));
+}
+
+}  // namespace
+}  // namespace ngd
