@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build and test the full tree in the two
+# configurations CI cares about:
+#   1. Release (-DNDEBUG): the guards that must survive assert() removal.
+#   2. Debug + ASan/UBSan: memory and signed-overflow regressions.
+#
+# Usage: ci/verify.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="${prefix}-${name}"
+  echo "==== [${name}] configure ===="
+  cmake -B "${dir}" -S . "$@"
+  echo "==== [${name}] build ===="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==== [${name}] ctest ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+run_config asan -DCMAKE_BUILD_TYPE=Debug -DNGD_SANITIZE=ON \
+  -DNGD_BUILD_BENCHMARKS=OFF
+
+echo "==== tier-1 verification passed ===="

@@ -144,7 +144,7 @@ EvalResult Expr::Evaluate(const Graph& g, const Binding& binding) const {
     case Kind::kIntConst:
       return EvalResult::Int(Rational(node_->int_value));
     case Kind::kStrConst:
-      return EvalResult::Str(&node_->str_value);
+      return EvalResult::Str(node_->str_value);
     case Kind::kVarAttr: {
       int x = node_->var_index;
       if (x < 0 || static_cast<size_t>(x) >= binding.size() ||
@@ -154,7 +154,7 @@ EvalResult Expr::Evaluate(const Graph& g, const Binding& binding) const {
       const Value* v = g.GetAttr(binding[x], node_->attr);
       if (v == nullptr) return EvalResult::Missing();
       if (v->is_int()) return EvalResult::Int(Rational(v->AsInt()));
-      return EvalResult::Str(&v->AsString());
+      return EvalResult::Str(v->AsString());
     }
     case Kind::kNeg:
     case Kind::kAbs: {

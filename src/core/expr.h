@@ -40,7 +40,9 @@ struct EvalResult {
   };
   Tag tag = Tag::kMissing;
   Rational num;
-  const std::string* str = nullptr;
+  // Owned copy: a pointer into the Expr node (or the graph) here would
+  // dangle as soon as the expression or value it came from is destroyed.
+  std::string str;
 
   static EvalResult Int(Rational r) {
     EvalResult e;
@@ -48,10 +50,10 @@ struct EvalResult {
     e.num = r;
     return e;
   }
-  static EvalResult Str(const std::string* s) {
+  static EvalResult Str(std::string s) {
     EvalResult e;
     e.tag = Tag::kStr;
-    e.str = s;
+    e.str = std::move(s);
     return e;
   }
   static EvalResult Missing() { return EvalResult{}; }

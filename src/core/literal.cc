@@ -77,9 +77,9 @@ Truth Literal::Evaluate(const Graph& g, const Binding& binding) const {
   if (l.tag == EvalResult::Tag::kStr && r.tag == EvalResult::Tag::kStr) {
     switch (op_) {
       case CmpOp::kEq:
-        return *l.str == *r.str ? Truth::kTrue : Truth::kFalse;
+        return l.str == r.str ? Truth::kTrue : Truth::kFalse;
       case CmpOp::kNe:
-        return *l.str != *r.str ? Truth::kTrue : Truth::kFalse;
+        return l.str != r.str ? Truth::kTrue : Truth::kFalse;
       default:
         return Truth::kFalse;  // no order on strings in NGDs
     }

@@ -1,69 +1,112 @@
 #include "util/rational.h"
 
-#include <cassert>
-#include <numeric>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 namespace ngd {
 
 namespace {
 using Int128 = __int128;
-}  // namespace
 
-Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
-  assert(den != 0 && "rational with zero denominator");
-  Normalize();
+// Numeric invariants stay fatal in release builds: a Rational with a zero
+// denominator (or a silently wrapped component) would turn detection into
+// garbage answers, which is worse than stopping. assert() compiles out
+// under NDEBUG, so these are hand-rolled.
+[[noreturn]] void FatalRational(const char* msg) {
+  std::fprintf(stderr, "ngd: fatal rational error: %s\n", msg);
+  std::abort();
 }
 
-void Rational::Normalize() {
-  if (den_ < 0) {
-    num_ = -num_;
-    den_ = -den_;
-  }
-  int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
-  if (g > 1) {
-    num_ /= g;
-    den_ /= g;
-  }
-  if (num_ == 0) den_ = 1;
+/// Narrows a 128-bit intermediate back to int64, aborting on overflow.
+int64_t CheckedNarrow(Int128 v, const char* what) {
+  if (v < INT64_MIN || v > INT64_MAX) FatalRational(what);
+  return static_cast<int64_t>(v);
 }
 
-int64_t Rational::ToInteger() const {
-  assert(IsInteger());
-  return num_;
-}
-
-Rational Rational::operator+(const Rational& o) const {
-  Int128 n = Int128(num_) * o.den_ + Int128(o.num_) * den_;
-  Int128 d = Int128(den_) * o.den_;
-  // Reduce in 128 bits before narrowing; operands in NGD evaluation are
-  // small (attribute values x small constants), so this cannot overflow
-  // int64 after reduction in practice.
-  Int128 a = n < 0 ? -n : n;
-  Int128 b = d;
+Int128 Gcd128(Int128 a, Int128 b) {
   while (b != 0) {
     Int128 t = a % b;
     a = b;
     b = t;
   }
-  if (a > 1) {
-    n /= a;
-    d /= a;
-  }
-  return Rational(static_cast<int64_t>(n), static_cast<int64_t>(d));
+  return a;
+}
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
+  if (den == 0) FatalRational("rational with zero denominator");
+  Normalize();
 }
 
-Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+void Rational::Normalize() {
+  // Work in 128 bits throughout: negating num_ == INT64_MIN (directly or
+  // via the den_ < 0 sign flip) is signed-overflow UB in 64 bits.
+  Int128 n = num_;
+  Int128 d = den_;
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  Int128 g = Gcd128(n < 0 ? -n : n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  if (n == 0) d = 1;
+  num_ = CheckedNarrow(n, "normalization overflow");
+  den_ = CheckedNarrow(d, "normalization overflow");
+}
+
+int64_t Rational::ToInteger() const {
+  if (!IsInteger()) FatalRational("ToInteger on non-integer rational");
+  return num_;
+}
+
+// Shared tail of the arithmetic operators: reduce the exact 128-bit
+// result (d may be negative for division) and narrow. Narrowing aborts
+// exactly when the REDUCED result is unrepresentable — operands in NGD
+// evaluation are small (attribute values x small constants), so that
+// means the caller's data is out of the supported domain.
+Rational Rational::FromExact128(Int128 n, Int128 d, const char* what) {
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  Int128 g = Gcd128(n < 0 ? -n : n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  if (n == 0) d = 1;
+  return Rational(ReducedTag{}, CheckedNarrow(n, what),
+                  CheckedNarrow(d, what));
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return FromExact128(Int128(num_) * o.den_ + Int128(o.num_) * den_,
+                      Int128(den_) * o.den_, "addition overflow");
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return FromExact128(Int128(num_) * o.den_ - Int128(o.num_) * den_,
+                      Int128(den_) * o.den_, "subtraction overflow");
+}
+
+Rational Rational::operator-() const {
+  return Rational(ReducedTag{},
+                  CheckedNarrow(-Int128(num_), "negation overflow"), den_);
+}
 
 Rational Rational::operator*(const Rational& o) const {
-  // Cross-reduce first to keep components small.
-  Rational a(num_, o.den_);
-  Rational b(o.num_, den_);
-  return Rational(a.num_ * b.num_, a.den_ * b.den_);
+  return FromExact128(Int128(num_) * o.num_, Int128(den_) * o.den_,
+                      "multiplication overflow");
 }
 
 Rational Rational::operator/(const Rational& o) const {
-  assert(o.num_ != 0 && "division by zero rational");
-  return *this * Rational(o.den_, o.num_);
+  if (o.num_ == 0) FatalRational("division by zero rational");
+  return FromExact128(Int128(num_) * o.den_, Int128(den_) * o.num_,
+                      "division overflow");
 }
 
 bool Rational::operator==(const Rational& o) const {

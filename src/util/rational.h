@@ -36,7 +36,7 @@ class Rational {
   Rational operator*(const Rational& o) const;
   /// Division; requires o != 0.
   Rational operator/(const Rational& o) const;
-  Rational operator-() const { return Rational(-num_, den_); }
+  Rational operator-() const;
   Rational Abs() const { return num_ < 0 ? -*this : *this; }
 
   bool operator==(const Rational& o) const;
@@ -49,6 +49,14 @@ class Rational {
   std::string ToString() const;
 
  private:
+  struct ReducedTag {};
+  /// Components already in lowest terms with den > 0; skips Normalize.
+  Rational(ReducedTag, int64_t num, int64_t den) : num_(num), den_(den) {}
+
+  /// Reduces an exact 128-bit numerator/denominator (d may be negative)
+  /// and narrows to int64, aborting with `what` if unrepresentable.
+  static Rational FromExact128(__int128 n, __int128 d, const char* what);
+
   void Normalize();
 
   int64_t num_;

@@ -35,7 +35,7 @@ TEST_F(ExprTest, ConstantsEvaluate) {
   EXPECT_EQ(EvalInt(Expr::IntConst(7)), Rational(7));
   EvalResult s = Expr::StrConst("x").Evaluate(g_, binding_);
   ASSERT_EQ(s.tag, EvalResult::Tag::kStr);
-  EXPECT_EQ(*s.str, "x");
+  EXPECT_EQ(s.str, "x");
 }
 
 TEST_F(ExprTest, VarAttrEvaluates) {

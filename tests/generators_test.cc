@@ -144,7 +144,9 @@ TEST(ErrorInjectorTest, PopulationMotifInternallyConsistentWhenClean) {
       if (e.label == mal) m = x;
       if (e.label == tot) t = x;
     }
-    if (f >= 0 && m >= 0 && t >= 0) EXPECT_EQ(f + m, t);
+    if (f >= 0 && m >= 0 && t >= 0) {
+      EXPECT_EQ(f + m, t);
+    }
   }
 }
 

@@ -55,7 +55,9 @@ TEST(PartitionerTest, LocalityBeatsRandomAssignment) {
         ASSERT_TRUE(g.AddEdge(base + i, base + j, e).ok());
       }
     }
-    if (c > 0) ASSERT_TRUE(g.AddEdge(base - 1, base, e).ok());
+    if (c > 0) {
+      ASSERT_TRUE(g.AddEdge(base - 1, base, e).ok());
+    }
   }
   PartitionResult ldg = PartitionGraph(g, 5);
   size_t random_cut = 0;

@@ -86,8 +86,12 @@ TEST_P(PIncDectVariantTest, AblationVariantsAreAllCorrect) {
   auto result = PIncDect(*w.graph, w.sigma, w.batch, opts);
   ASSERT_TRUE(result.ok());
   ExpectSameDelta(w.expected, result->delta);
-  if (!GetParam().split) EXPECT_EQ(result->splits, 0u);
-  if (!GetParam().balance) EXPECT_EQ(result->balance_moves, 0u);
+  if (!GetParam().split) {
+    EXPECT_EQ(result->splits, 0u);
+  }
+  if (!GetParam().balance) {
+    EXPECT_EQ(result->balance_moves, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

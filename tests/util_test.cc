@@ -179,6 +179,67 @@ TEST(RationalTest, ToStringAndToInteger) {
   EXPECT_EQ(Rational(10, 5).ToInteger(), 2);
 }
 
+TEST(RationalTest, NormalizeAtInt64Min) {
+  // Negating INT64_MIN was signed-overflow UB in 64-bit normalization;
+  // these must be exact (and clean under UBSan).
+  Rational min_over_one(INT64_MIN, 1);
+  EXPECT_EQ(min_over_one.num(), INT64_MIN);
+  EXPECT_EQ(min_over_one.den(), 1);
+
+  // den < 0 flips both signs: -INT64_MIN/2 = 2^62 is representable after
+  // gcd reduction.
+  Rational flipped(INT64_MIN, -2);
+  EXPECT_EQ(flipped.num(), int64_t{1} << 62);
+  EXPECT_EQ(flipped.den(), 1);
+
+  Rational halved(INT64_MIN, 2);
+  EXPECT_EQ(halved.num(), -(int64_t{1} << 62));
+  EXPECT_EQ(halved.den(), 1);
+
+  EXPECT_EQ(Rational(INT64_MIN, INT64_MIN), Rational(1));
+}
+
+TEST(RationalTest, ArithmeticAtInt64Extremes) {
+  // Abs/negation of the most negative representable fraction p/q with
+  // q > 1 (INT64_MIN is even, so pair it with an odd denominator).
+  Rational r(INT64_MIN + 1, 3);
+  EXPECT_EQ((-r).num(), -(INT64_MIN + 1));
+  EXPECT_EQ(r.Abs(), -r);
+
+  // Multiplication routes through 128 bits: cross-reduction alone used
+  // to leave a silently wrapping 64-bit multiply.
+  Rational big(int64_t{1} << 40);
+  EXPECT_EQ(big * Rational(int64_t{1} << 22), Rational(int64_t{1} << 62));
+  EXPECT_EQ(Rational(INT64_MAX) * Rational(1, INT64_MAX), Rational(1));
+  EXPECT_EQ(Rational(INT64_MAX, 2) * Rational(2, INT64_MAX), Rational(1));
+  EXPECT_EQ(Rational(INT64_MAX) / Rational(INT64_MAX), Rational(1));
+
+  // (x ÷ 2) × 2 = x at the extremes — the exactness Rational exists for.
+  EXPECT_EQ(Rational(INT64_MAX) / 2 * 2, Rational(INT64_MAX));
+  EXPECT_EQ(Rational(INT64_MIN) / 2 * 2, Rational(INT64_MIN));
+
+  // Subtraction and division go through exact 128-bit intermediates: a
+  // representable result must never abort, even where the negated or
+  // reciprocal operand would be unrepresentable on its own.
+  EXPECT_EQ(Rational(INT64_MIN) - Rational(INT64_MIN), Rational(0));
+  EXPECT_EQ(Rational(INT64_MIN) / Rational(INT64_MIN), Rational(1));
+  EXPECT_EQ(Rational(INT64_MIN) / Rational(2), Rational(-(int64_t{1} << 62)));
+  EXPECT_EQ(Rational(2) / Rational(INT64_MIN),
+            Rational(-1, int64_t{1} << 62));
+}
+
+TEST(RationalDeathTest, GuardsStayActiveInReleaseBuilds) {
+  // Zero denominators, division by zero, and unrepresentable results are
+  // fatal even under NDEBUG — silent wraparound would corrupt detection.
+  EXPECT_DEATH(Rational(1, 0), "zero denominator");
+  EXPECT_DEATH(Rational(1) / Rational(0), "division by zero");
+  EXPECT_DEATH(-Rational(INT64_MIN), "negation overflow");
+  EXPECT_DEATH(Rational(INT64_MAX) * Rational(INT64_MAX),
+               "multiplication overflow");
+  EXPECT_DEATH(Rational(INT64_MAX) + Rational(1), "addition overflow");
+  EXPECT_DEATH(Rational(INT64_MIN, -1), "normalization overflow");
+}
+
 // ---- String helpers ---------------------------------------------------------
 
 TEST(StringUtilTest, StrSplit) {

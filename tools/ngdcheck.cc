@@ -1,0 +1,369 @@
+// ngdcheck: command-line NGD inconsistency checker.
+//
+// Loads a TSV graph (graph_io.h format) and an NGD rule file (parser.h
+// DSL), runs batch or incremental detection — sequential or parallel —
+// and emits the violations as JSON on stdout.
+//
+//   ngdcheck --graph G.tsv --rules R.ngd                  # batch, Dect
+//   ngdcheck --graph G.tsv --rules R.ngd --parallel 8     # batch, PDect
+//   ngdcheck --graph G.tsv --rules R.ngd --updates D.tsv
+//       --mode incremental                                # IncDect
+//
+// Update files carry one unit update per line, whitespace-separated:
+//   I <src> <dst> <label>     insert edge into ΔG+
+//   D <src> <dst> <label>     delete edge into ΔG-
+// '#' starts a comment. Node ids refer to the loaded graph; an insert may
+// not reference nodes that do not exist (ngdcheck does not create nodes).
+//
+// Exit status: 0 on success (violations or not), 1 on usage/input errors,
+// 2 if --fail-on-violations is given and any violation (or ΔVio+) exists.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+#include "detect/dect.h"
+#include "detect/inc_dect.h"
+#include "graph/graph_io.h"
+#include "graph/updates.h"
+#include "parallel/pdect.h"
+#include "parallel/pinc_dect.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace ngd {
+namespace {
+
+constexpr const char* kUsage = R"(usage: ngdcheck --graph FILE --rules FILE [options]
+
+Detects violations of numeric graph dependencies (NGDs) and prints them
+as JSON.
+
+required:
+  --graph FILE        graph in TSV format (see src/graph/graph_io.h)
+  --rules FILE        NGD rule file in the DSL (see src/core/parser.h)
+
+options:
+  --mode MODE         batch (default) or incremental
+  --updates FILE      unit-update file ("I|D <src> <dst> <label>" lines);
+                      required for --mode incremental
+  --parallel N        use the parallel engine (PDect / PIncDect) with N
+                      simulated processors
+  --max-violations N  stop collecting per NGD after N violations
+                      (sequential batch mode only)
+  --fail-on-violations  exit 2 if any violation (or ΔVio+) is found
+  --help              show this message
+)";
+
+struct Options {
+  std::string graph_path;
+  std::string rules_path;
+  std::string updates_path;
+  std::string mode = "batch";
+  int parallel = 0;  // 0 = sequential
+  size_t max_violations = 0;
+  bool fail_on_violations = false;
+};
+
+bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        *error = std::string(flag) + " requires a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (arg == "--graph") {
+      const char* v = need_value("--graph");
+      if (v == nullptr) return false;
+      opts->graph_path = v;
+    } else if (arg == "--rules") {
+      const char* v = need_value("--rules");
+      if (v == nullptr) return false;
+      opts->rules_path = v;
+    } else if (arg == "--updates") {
+      const char* v = need_value("--updates");
+      if (v == nullptr) return false;
+      opts->updates_path = v;
+    } else if (arg == "--mode") {
+      const char* v = need_value("--mode");
+      if (v == nullptr) return false;
+      opts->mode = v;
+    } else if (arg == "--parallel") {
+      const char* v = need_value("--parallel");
+      if (v == nullptr) return false;
+      auto n = ParseInt64(v);
+      if (!n || *n <= 0 || *n > 1 << 20) {
+        *error = "--parallel requires a positive processor count, got " +
+                 std::string(v);
+        return false;
+      }
+      opts->parallel = static_cast<int>(*n);
+    } else if (arg == "--max-violations") {
+      const char* v = need_value("--max-violations");
+      if (v == nullptr) return false;
+      auto n = ParseInt64(v);
+      if (!n || *n < 0) {
+        *error = "--max-violations requires a non-negative count, got " +
+                 std::string(v);
+        return false;
+      }
+      opts->max_violations = static_cast<size_t>(*n);
+    } else if (arg == "--fail-on-violations") {
+      opts->fail_on_violations = true;
+    } else {
+      *error = "unknown argument: " + std::string(arg);
+      return false;
+    }
+  }
+  if (opts->graph_path.empty() || opts->rules_path.empty()) {
+    *error = "--graph and --rules are required";
+    return false;
+  }
+  if (opts->mode != "batch" && opts->mode != "incremental") {
+    *error = "--mode must be batch or incremental";
+    return false;
+  }
+  if (opts->mode == "incremental" && opts->updates_path.empty()) {
+    *error = "--mode incremental requires --updates";
+    return false;
+  }
+  if (opts->max_violations > 0 &&
+      (opts->mode != "batch" || opts->parallel > 0)) {
+    *error = "--max-violations is only supported by the sequential batch "
+             "engine (no --parallel, no --mode incremental)";
+    return false;
+  }
+  return true;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+StatusOr<UpdateBatch> ReadUpdateFile(const std::string& path, const Graph& g) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  UpdateBatch batch;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto err = [&](const std::string& msg) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) + ": " +
+                                msg);
+    };
+    std::istringstream fields(line);
+    std::string kind, label;
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    if (!(fields >> kind) || kind[0] == '#') continue;
+    if (kind != "I" && kind != "D") {
+      return err("update kind must be I or D, got " + kind);
+    }
+    if (!(fields >> src >> dst >> label)) {
+      return err("expected: " + kind + " <src> <dst> <label>");
+    }
+    if (src >= g.NumNodes() || dst >= g.NumNodes()) {
+      return err("edge endpoint out of range");
+    }
+    UnitUpdate u;
+    u.kind = kind == "I" ? UpdateKind::kInsert : UpdateKind::kDelete;
+    u.src = static_cast<NodeId>(src);
+    u.dst = static_cast<NodeId>(dst);
+    u.label = g.schema()->InternLabel(label);
+    batch.updates.push_back(u);
+  }
+  return batch;
+}
+
+void JsonEscape(const std::string& s, std::ostream* os) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      case '\t':
+        *os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+}
+
+/// One violation as a JSON object: rule name plus the h(x̄) assignment
+/// keyed by pattern variable.
+void WriteViolation(const Violation& v, const NgdSet& sigma,
+                    std::ostream* os, const char* indent) {
+  const Ngd& ngd = sigma[v.ngd_index];
+  *os << indent << "{\"rule\": \"";
+  JsonEscape(ngd.name(), os);
+  *os << "\", \"nodes\": {";
+  const auto& nodes = ngd.pattern().nodes();
+  for (size_t i = 0; i < v.nodes.size(); ++i) {
+    if (i > 0) *os << ", ";
+    *os << '"';
+    JsonEscape(nodes[i].var, os);
+    *os << "\": " << v.nodes[i];
+  }
+  *os << "}}";
+}
+
+void WriteVioArray(const VioSet& vio, const NgdSet& sigma,
+                   std::ostream* os) {
+  *os << "[";
+  bool first = true;
+  for (const Violation& v : vio.Sorted()) {
+    *os << (first ? "\n" : ",\n");
+    first = false;
+    WriteViolation(v, sigma, os, "    ");
+  }
+  *os << (first ? "]" : "\n  ]");
+}
+
+int Run(const Options& opts) {
+  SchemaPtr schema = Schema::Create();
+
+  auto graph = LoadGraphFile(opts.graph_path, schema);
+  if (!graph.ok()) {
+    std::cerr << "ngdcheck: loading " << opts.graph_path << ": "
+              << graph.status().ToString() << "\n";
+    return 1;
+  }
+  Graph& g = **graph;
+
+  auto rules_text = ReadFile(opts.rules_path);
+  if (!rules_text.ok()) {
+    std::cerr << "ngdcheck: " << rules_text.status().ToString() << "\n";
+    return 1;
+  }
+  auto sigma = ParseNgds(*rules_text, schema);
+  if (!sigma.ok()) {
+    std::cerr << "ngdcheck: parsing " << opts.rules_path << ": "
+              << sigma.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::ostream& os = std::cout;
+  os << "{\n";
+  os << "  \"graph\": \"";
+  JsonEscape(opts.graph_path, &os);
+  os << "\",\n";
+  os << "  \"nodes\": " << g.NumNodes() << ",\n";
+  os << "  \"edges\": " << g.NumEdges(GraphView::kNew) << ",\n";
+  os << "  \"rules\": " << sigma->size() << ",\n";
+  os << "  \"mode\": \"" << opts.mode
+     << (opts.parallel > 0 ? "-parallel" : "") << "\",\n";
+
+  bool dirty = false;
+  WallTimer timer;
+  if (opts.mode == "batch") {
+    VioSet vio;
+    if (opts.parallel > 0) {
+      PDectOptions popts;
+      popts.num_processors = opts.parallel;
+      vio = PDect(g, *sigma, popts).vio;
+    } else {
+      DectOptions dopts;
+      dopts.max_violations_per_ngd = opts.max_violations;
+      vio = Dect(g, *sigma, dopts);
+    }
+    double elapsed = timer.ElapsedSeconds();
+    dirty = !vio.empty();
+    os << "  \"violation_count\": " << vio.size() << ",\n";
+    os << "  \"violations\": ";
+    WriteVioArray(vio, *sigma, &os);
+    os << ",\n";
+    os << "  \"elapsed_seconds\": " << elapsed << "\n";
+  } else {
+    auto batch = ReadUpdateFile(opts.updates_path, g);
+    if (!batch.ok()) {
+      std::cerr << "ngdcheck: " << batch.status().ToString() << "\n";
+      return 1;
+    }
+    Status applied = ApplyUpdateBatch(&g, &*batch);
+    if (!applied.ok()) {
+      std::cerr << "ngdcheck: applying updates: " << applied.ToString()
+                << "\n";
+      return 1;
+    }
+    // Time only the detection itself, matching batch mode (update-file
+    // IO and overlay application are setup, not IncDect work).
+    timer.Restart();
+    DeltaVio delta;
+    if (opts.parallel > 0) {
+      PIncDectOptions popts;
+      popts.num_processors = opts.parallel;
+      auto result = PIncDect(g, *sigma, *batch, popts);
+      if (!result.ok()) {
+        std::cerr << "ngdcheck: " << result.status().ToString() << "\n";
+        return 1;
+      }
+      delta = std::move(result->delta);
+    } else {
+      auto result = IncDect(g, *sigma, *batch);
+      if (!result.ok()) {
+        std::cerr << "ngdcheck: " << result.status().ToString() << "\n";
+        return 1;
+      }
+      delta = std::move(*result);
+    }
+    double elapsed = timer.ElapsedSeconds();
+    dirty = !delta.added.empty();
+    os << "  \"updates\": " << batch->size() << ",\n";
+    os << "  \"added_count\": " << delta.added.size() << ",\n";
+    os << "  \"removed_count\": " << delta.removed.size() << ",\n";
+    os << "  \"added\": ";
+    WriteVioArray(delta.added, *sigma, &os);
+    os << ",\n";
+    os << "  \"removed\": ";
+    WriteVioArray(delta.removed, *sigma, &os);
+    os << ",\n";
+    os << "  \"elapsed_seconds\": " << elapsed << "\n";
+  }
+  os << "}\n";
+
+  if (opts.fail_on_violations && dirty) return 2;
+  return 0;
+}
+
+}  // namespace
+}  // namespace ngd
+
+int main(int argc, char** argv) {
+  ngd::Options opts;
+  std::string error;
+  if (!ngd::ParseArgs(argc, argv, &opts, &error)) {
+    std::cerr << "ngdcheck: " << error << "\n\n" << ngd::kUsage;
+    return 1;
+  }
+  return ngd::Run(opts);
+}
