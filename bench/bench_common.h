@@ -10,8 +10,10 @@
 //
 // Scale: the paper runs minutes-long jobs on a 20-machine cluster over
 // graphs of 10⁷–10⁸ edges; these benches use the same generators at
-// ~1/500 scale so the full suite completes in minutes on a laptop
-// (EXPERIMENTS.md records the mapping).
+// ~1/500 scale so the full suite completes in minutes on a laptop.
+// EXPERIMENTS.md (repo root) records the scale mapping and the BENCH
+// JSON workflow (tools/ngdbench emits BENCH_detect.json; CI uploads it
+// as an artifact every push).
 
 #ifndef NGD_BENCH_BENCH_COMMON_H_
 #define NGD_BENCH_BENCH_COMMON_H_
@@ -93,9 +95,14 @@ inline UpdateBatch MakeBatch(Graph* g, double fraction, uint64_t seed) {
 
 // ---- Algorithm runners (return elapsed seconds; overlay left applied) ----
 
-inline double RunDect(Workload& w) {
+/// The default kAuto lets the cost model pick the engine (what callers
+/// get in production); kAlways/kNever pin the CSR snapshot or the
+/// live-overlay baseline so benches can compare the two.
+inline double RunDect(Workload& w,
+                      SnapshotMode mode = SnapshotMode::kAuto) {
   WallTimer t;
-  VioSet vio = Dect(*w.graph, w.sigma, DectOptions{GraphView::kNew, 0});
+  VioSet vio =
+      Dect(*w.graph, w.sigma, DectOptions{GraphView::kNew, 0, mode});
   ::benchmark::DoNotOptimize(vio.size());
   return t.ElapsedSeconds();
 }

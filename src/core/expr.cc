@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/snapshot.h"
+
 namespace ngd {
 
 Expr Expr::IntConst(int64_t v) {
@@ -139,34 +141,39 @@ void Expr::CollectVars(std::vector<int>* vars) const {
   }
 }
 
-EvalResult Expr::Evaluate(const Graph& g, const Binding& binding) const {
-  switch (node_->kind) {
-    case Kind::kIntConst:
-      return EvalResult::Int(Rational(node_->int_value));
-    case Kind::kStrConst:
-      return EvalResult::Str(node_->str_value);
-    case Kind::kVarAttr: {
-      int x = node_->var_index;
+namespace {
+
+/// Shared evaluation body; G supplies GetAttr(NodeId, AttrId) and is
+/// either the live Graph or a GraphSnapshot.
+template <typename G>
+EvalResult EvaluateImpl(const Expr& e, const G& g, const Binding& binding) {
+  switch (e.kind()) {
+    case Expr::Kind::kIntConst:
+      return EvalResult::Int(Rational(e.int_value()));
+    case Expr::Kind::kStrConst:
+      return EvalResult::Str(e.str_value());
+    case Expr::Kind::kVarAttr: {
+      int x = e.var_index();
       if (x < 0 || static_cast<size_t>(x) >= binding.size() ||
           binding[x] == kInvalidNode) {
         return EvalResult::Unbound();
       }
-      const Value* v = g.GetAttr(binding[x], node_->attr);
+      const Value* v = g.GetAttr(binding[x], e.attr());
       if (v == nullptr) return EvalResult::Missing();
       if (v->is_int()) return EvalResult::Int(Rational(v->AsInt()));
       return EvalResult::Str(v->AsString());
     }
-    case Kind::kNeg:
-    case Kind::kAbs: {
-      EvalResult e = lhs().Evaluate(g, binding);
-      if (e.tag == EvalResult::Tag::kUnbound) return e;
-      if (e.tag != EvalResult::Tag::kInt) return EvalResult::Missing();
-      return EvalResult::Int(node_->kind == Kind::kNeg ? -e.num
-                                                       : e.num.Abs());
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kAbs: {
+      EvalResult l = EvaluateImpl(e.lhs(), g, binding);
+      if (l.tag == EvalResult::Tag::kUnbound) return l;
+      if (l.tag != EvalResult::Tag::kInt) return EvalResult::Missing();
+      return EvalResult::Int(e.kind() == Expr::Kind::kNeg ? -l.num
+                                                          : l.num.Abs());
     }
     default: {
-      EvalResult l = lhs().Evaluate(g, binding);
-      EvalResult r = rhs().Evaluate(g, binding);
+      EvalResult l = EvaluateImpl(e.lhs(), g, binding);
+      EvalResult r = EvaluateImpl(e.rhs(), g, binding);
       // Unbound dominates Missing: the literal may still become evaluable
       // once more variables are matched.
       if (l.tag == EvalResult::Tag::kUnbound ||
@@ -176,14 +183,14 @@ EvalResult Expr::Evaluate(const Graph& g, const Binding& binding) const {
       if (l.tag != EvalResult::Tag::kInt || r.tag != EvalResult::Tag::kInt) {
         return EvalResult::Missing();
       }
-      switch (node_->kind) {
-        case Kind::kAdd:
+      switch (e.kind()) {
+        case Expr::Kind::kAdd:
           return EvalResult::Int(l.num + r.num);
-        case Kind::kSub:
+        case Expr::Kind::kSub:
           return EvalResult::Int(l.num - r.num);
-        case Kind::kMul:
+        case Expr::Kind::kMul:
           return EvalResult::Int(l.num * r.num);
-        case Kind::kDiv:
+        case Expr::Kind::kDiv:
           if (r.num == Rational(0)) return EvalResult::Missing();
           return EvalResult::Int(l.num / r.num);
         default:
@@ -191,6 +198,17 @@ EvalResult Expr::Evaluate(const Graph& g, const Binding& binding) const {
       }
     }
   }
+}
+
+}  // namespace
+
+EvalResult Expr::Evaluate(const Graph& g, const Binding& binding) const {
+  return EvaluateImpl(*this, g, binding);
+}
+
+EvalResult Expr::Evaluate(const GraphSnapshot& g,
+                          const Binding& binding) const {
+  return EvaluateImpl(*this, g, binding);
 }
 
 std::string Expr::ToString(const std::vector<std::string>& var_names,

@@ -26,6 +26,8 @@
 
 namespace ngd {
 
+class GraphSnapshot;
+
 /// A (possibly partial) homomorphism: var index -> node id, kInvalidNode
 /// when the variable is not yet matched.
 using Binding = std::vector<NodeId>;
@@ -105,8 +107,11 @@ class Expr {
   /// Appends the distinct variable indices referenced, in first-use order.
   void CollectVars(std::vector<int>* vars) const;
 
-  /// Exact evaluation under the (partial) binding.
+  /// Exact evaluation under the (partial) binding. The two overloads
+  /// differ only in where x.A terms read attributes from: the live
+  /// overlay graph or an immutable CSR snapshot of one view.
   EvalResult Evaluate(const Graph& g, const Binding& binding) const;
+  EvalResult Evaluate(const GraphSnapshot& g, const Binding& binding) const;
 
   /// Renders with the given variable names (pattern-provided) and schema
   /// attribute names.

@@ -63,9 +63,27 @@ void Literal::CollectVars(std::vector<int>* vars) const {
   rhs_.CollectVars(vars);
 }
 
+namespace {
+
+/// Compares two evaluated sides under `op` (the type/missing discipline
+/// of paper §3); shared by the live-graph and snapshot overloads.
+Truth CompareResults(const EvalResult& l, const EvalResult& r, CmpOp op);
+
+}  // namespace
+
 Truth Literal::Evaluate(const Graph& g, const Binding& binding) const {
-  EvalResult l = lhs_.Evaluate(g, binding);
-  EvalResult r = rhs_.Evaluate(g, binding);
+  return CompareResults(lhs_.Evaluate(g, binding), rhs_.Evaluate(g, binding),
+                        op_);
+}
+
+Truth Literal::Evaluate(const GraphSnapshot& g, const Binding& binding) const {
+  return CompareResults(lhs_.Evaluate(g, binding), rhs_.Evaluate(g, binding),
+                        op_);
+}
+
+namespace {
+
+Truth CompareResults(const EvalResult& l, const EvalResult& r, CmpOp op) {
   if (l.tag == EvalResult::Tag::kUnbound ||
       r.tag == EvalResult::Tag::kUnbound) {
     return Truth::kNotReady;
@@ -75,7 +93,7 @@ Truth Literal::Evaluate(const Graph& g, const Binding& binding) const {
     return Truth::kFalse;  // condition (a): attribute must exist
   }
   if (l.tag == EvalResult::Tag::kStr && r.tag == EvalResult::Tag::kStr) {
-    switch (op_) {
+    switch (op) {
       case CmpOp::kEq:
         return l.str == r.str ? Truth::kTrue : Truth::kFalse;
       case CmpOp::kNe:
@@ -88,7 +106,7 @@ Truth Literal::Evaluate(const Graph& g, const Binding& binding) const {
     return Truth::kFalse;  // int vs string type mismatch
   }
   bool holds = false;
-  switch (op_) {
+  switch (op) {
     case CmpOp::kEq:
       holds = l.num == r.num;
       break;
@@ -110,6 +128,8 @@ Truth Literal::Evaluate(const Graph& g, const Binding& binding) const {
   }
   return holds ? Truth::kTrue : Truth::kFalse;
 }
+
+}  // namespace
 
 std::string Literal::ToString(const std::vector<std::string>& var_names,
                               const Dictionary& attr_dict) const {

@@ -50,8 +50,11 @@ class Literal {
   void CollectVars(std::vector<int>* vars) const;
 
   /// Three-valued evaluation under a partial binding. kFalse includes the
-  /// attribute-missing and type-mismatch cases (condition (a)).
+  /// attribute-missing and type-mismatch cases (condition (a)). The
+  /// snapshot overload reads attributes from the CSR snapshot instead of
+  /// the live overlay graph.
   Truth Evaluate(const Graph& g, const Binding& binding) const;
+  Truth Evaluate(const GraphSnapshot& g, const Binding& binding) const;
 
   std::string ToString(const std::vector<std::string>& var_names,
                        const Dictionary& attr_dict) const;

@@ -1,48 +1,121 @@
 #include "detect/dect.h"
 
+#include <optional>
+
 namespace ngd {
 
-VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
-  VioSet vio;
-  for (size_t f = 0; f < sigma.size(); ++f) {
-    const Ngd& ngd = sigma[f];
-    SearchConfig cfg;
-    cfg.graph = &g;
-    cfg.pattern = &ngd.pattern();
-    cfg.x = &ngd.X();
-    cfg.y = &ngd.Y();
-    cfg.view = opts.view;
-    cfg.find_violations = true;
-    size_t found = 0;
-    RunBatchSearch(cfg, [&](const Binding& binding) {
-      vio.Add(Violation{static_cast<int>(f), binding});
-      ++found;
-      return opts.max_violations_per_ngd == 0 ||
-             found < opts.max_violations_per_ngd;
-    });
-  }
-  return vio;
-}
+namespace {
 
-std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
-                                          GraphView view) {
+/// Runs `callback` over the violations of every rule in Σ against one
+/// materialized search backend. The start node and MatchPlan are hoisted
+/// out of the candidate loop: one plan per rule per detection call,
+/// shared across all of that rule's seed candidates (and, via the
+/// snapshot, across all rules of the call). A callback returning false
+/// ends that rule's search; it aborts the remaining rules too only when
+/// `stop_sweep_on_false` is set (the first-witness early exit).
+template <typename PerViolation>
+void SweepRules(const Graph& g, const GraphSnapshot* snap,
+                const NgdSet& sigma, GraphView view,
+                bool stop_sweep_on_false, const PerViolation& callback) {
   for (size_t f = 0; f < sigma.size(); ++f) {
     const Ngd& ngd = sigma[f];
     SearchConfig cfg;
     cfg.graph = &g;
+    cfg.snapshot = snap;
     cfg.pattern = &ngd.pattern();
     cfg.x = &ngd.X();
     cfg.y = &ngd.Y();
     cfg.view = view;
     cfg.find_violations = true;
-    std::optional<Violation> witness;
-    RunBatchSearch(cfg, [&](const Binding& binding) {
-      witness = Violation{static_cast<int>(f), binding};
-      return false;  // stop at first violation
-    });
-    if (witness.has_value()) return witness;
+    const int start = ChooseStartNode(ngd.pattern(), cfg.MakeAccessor());
+    const MatchPlan plan =
+        BuildMatchPlan(ngd.pattern(), {start}, &ngd.X(), &ngd.Y());
+    const bool completed = RunBatchSearchWithPlan(
+        cfg, start, plan, [&](const Binding& binding) {
+          return callback(static_cast<int>(f), binding);
+        });
+    if (!completed && stop_sweep_on_false) return;
   }
-  return std::nullopt;
+}
+
+}  // namespace
+
+bool WantSnapshot(const Graph& g, const NgdSet& sigma) {
+  if (g.NumEdges(GraphView::kNew) + g.NumEdges(GraphView::kOld) == 0) {
+    return false;
+  }
+  // Σ_f |C(start_f)| approximates how many seed expansions the sweep
+  // performs; each streams an adjacency of average length 2|E|/|V|, while
+  // the snapshot build streams the adjacency a constant number of times
+  // with a sort-like constant. Seed volume ≥ 8|V| ⇒ the live engine
+  // would touch well over an order of magnitude more entries than the
+  // build, so the snapshot amortizes within this call.
+  const GraphAccessor acc(g, GraphView::kNew);
+  size_t seed_candidates = 0;
+  const size_t threshold = 8 * g.NumNodes();
+  for (size_t f = 0; f < sigma.size(); ++f) {
+    const Pattern& pattern = sigma[f].pattern();
+    seed_candidates += acc.CandidateCount(
+        pattern.node(ChooseStartNode(pattern, acc)).label);
+    if (seed_candidates >= threshold) return true;
+  }
+  return false;
+}
+
+bool ResolveSnapshot(const Graph& g, const NgdSet& sigma, SnapshotMode mode) {
+  switch (mode) {
+    case SnapshotMode::kAlways:
+      return true;
+    case SnapshotMode::kNever:
+      return false;
+    case SnapshotMode::kAuto:
+      break;
+  }
+  return WantSnapshot(g, sigma);
+}
+
+VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
+  std::optional<GraphSnapshot> snap;
+  if (ResolveSnapshot(g, sigma, opts.snapshot_mode)) {
+    snap.emplace(g, opts.view);
+  }
+
+  VioSet vio;
+  int current_ngd = -1;
+  size_t found = 0;
+  SweepRules(g, snap ? &*snap : nullptr, sigma, opts.view,
+             /*stop_sweep_on_false=*/false, [&](int f, const Binding& binding) {
+               if (f != current_ngd) {
+                 current_ngd = f;
+                 found = 0;
+               }
+               // The engine reuses `binding` as its backtracking buffer,
+               // so the violation keeps a copy of h(x̄); VioSet::Add then
+               // moves the Violation in without another copy.
+               vio.Add(Violation{f, binding});
+               ++found;
+               return opts.max_violations_per_ngd == 0 ||
+                      found < opts.max_violations_per_ngd;
+             });
+  return vio;
+}
+
+std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
+                                          GraphView view, SnapshotMode mode) {
+  // Worst case (G |= Σ, the common validation outcome) is a full sweep,
+  // so the same kAuto cost model applies as for Dect; callers who know
+  // violations are common pass kNever to skip the O(|E|) build an early
+  // witness would waste.
+  std::optional<GraphSnapshot> snap;
+  if (ResolveSnapshot(g, sigma, mode)) snap.emplace(g, view);
+  std::optional<Violation> witness;
+  SweepRules(g, snap ? &*snap : nullptr, sigma, view,
+             /*stop_sweep_on_false=*/true,
+             [&](int f, const Binding& binding) {
+               witness = Violation{f, binding};
+               return false;  // stop at first violation
+             });
+  return witness;
 }
 
 }  // namespace ngd

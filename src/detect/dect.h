@@ -4,6 +4,16 @@
 // sequential baseline extended from the GFD batch algorithm of [24].
 // Validation (G |= Σ?) is the coNP decision version: an NP witness search
 // that stops at the first violation.
+//
+// Both entry points can build one CSR GraphSnapshot of the requested
+// view per call and amortize it across every rule in Σ
+// (label-partitioned adjacency makes the Matchn expansion memory-lean;
+// see graph/snapshot.h). The default SnapshotMode::kAuto decides by a
+// cost model: the O(|E|) build only pays off when the live engine would
+// stream a multiple of the adjacency, so selective rule sets on small
+// graphs keep the live engine. kNever selects the pre-snapshot
+// live-graph engine unconditionally — kept as the equivalence-test
+// oracle and the benchmark baseline; kAlways forces the snapshot.
 
 #ifndef NGD_DETECT_DECT_H_
 #define NGD_DETECT_DECT_H_
@@ -15,24 +25,45 @@
 
 namespace ngd {
 
+enum class SnapshotMode : uint8_t {
+  kAuto = 0,  ///< cost model decides (WantSnapshot)
+  kAlways,    ///< always build + match against the CSR snapshot
+  kNever,     ///< always match against the live overlay graph
+};
+
 struct DectOptions {
   GraphView view = GraphView::kNew;
   /// Safety valve for adversarial rule sets: stop collecting per NGD after
   /// this many violations (0 = unlimited).
   size_t max_violations_per_ngd = 0;
+  SnapshotMode snapshot_mode = SnapshotMode::kAuto;
 };
+
+/// The kAuto cost model: true when the seed-candidate volume of Σ (the
+/// adjacency the live engine would stream) is large enough to amortize
+/// the O(|E|) snapshot build within this one call.
+bool WantSnapshot(const Graph& g, const NgdSet& sigma);
+
+/// Resolves a SnapshotMode to a concrete build-the-snapshot decision
+/// (kAuto defers to WantSnapshot). Shared by Dect, FindAnyViolation and
+/// PDect so all engines make the same choice for the same options.
+bool ResolveSnapshot(const Graph& g, const NgdSet& sigma, SnapshotMode mode);
 
 /// Vio(Σ, G): all violations of all NGDs in Σ.
 VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts = {});
 
-/// First violation found, or nullopt if G |= Σ (early exit).
+/// First violation found, or nullopt if G |= Σ (early exit). `mode` as
+/// in DectOptions: kNever skips the snapshot build callers who expect
+/// an early witness would waste.
 std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
-                                          GraphView view = GraphView::kNew);
+                                          GraphView view = GraphView::kNew,
+                                          SnapshotMode mode = SnapshotMode::kAuto);
 
 /// The validation problem: G |= Σ.
 inline bool Validate(const Graph& g, const NgdSet& sigma,
-                     GraphView view = GraphView::kNew) {
-  return !FindAnyViolation(g, sigma, view).has_value();
+                     GraphView view = GraphView::kNew,
+                     SnapshotMode mode = SnapshotMode::kAuto) {
+  return !FindAnyViolation(g, sigma, view, mode).has_value();
 }
 
 }  // namespace ngd

@@ -1,0 +1,137 @@
+// GraphAccessor: one matching-engine-facing view over either the live
+// overlay Graph (a GraphView of it) or an immutable CSR GraphSnapshot.
+//
+// The homomorphism engine (match/) is written once against this facade.
+// Batch detection (Dect, FindAnyViolation, PDect) builds a GraphSnapshot
+// per call and matches against its label-partitioned adjacency;
+// incremental detection keeps the live overlay graph, whose searches are
+// update-local and must see kInserted/kDeleted states directly.
+//
+// The accessor is a tagged pair of pointers with inline two-way dispatch
+// — no virtual calls on the hot path, and the branch is perfectly
+// predicted inside any one search.
+
+#ifndef NGD_GRAPH_ACCESSOR_H_
+#define NGD_GRAPH_ACCESSOR_H_
+
+#include <utility>
+
+#include "graph/graph.h"
+#include "graph/snapshot.h"
+
+namespace ngd {
+
+class GraphAccessor {
+ public:
+  GraphAccessor() = default;
+  GraphAccessor(const Graph& g, GraphView view) : graph_(&g), view_(view) {}
+  explicit GraphAccessor(const GraphSnapshot& snap)
+      : snap_(&snap), view_(snap.view()) {}
+
+  bool valid() const { return graph_ != nullptr || snap_ != nullptr; }
+  bool is_snapshot() const { return snap_ != nullptr; }
+  const Graph* live_graph() const { return graph_; }
+  const GraphSnapshot* snapshot() const { return snap_; }
+  GraphView view() const { return view_; }
+
+  size_t NumNodes() const {
+    return snap_ != nullptr ? snap_->NumNodes() : graph_->NumNodes();
+  }
+
+  LabelId NodeLabel(NodeId v) const {
+    return snap_ != nullptr ? snap_->NodeLabel(v) : graph_->NodeLabel(v);
+  }
+
+  /// True iff graph node v can match a pattern node labelled `label`.
+  bool NodeMatchesLabel(NodeId v, LabelId label) const {
+    return label == kWildcardLabel || NodeLabel(v) == label;
+  }
+
+  const Value* GetAttr(NodeId v, AttrId attr) const {
+    return snap_ != nullptr ? snap_->GetAttr(v, attr)
+                            : graph_->GetAttr(v, attr);
+  }
+
+  bool HasEdge(NodeId src, NodeId dst, LabelId label) const {
+    return snap_ != nullptr ? snap_->HasEdge(src, dst, label)
+                            : graph_->HasEdge(src, dst, label, view_);
+  }
+
+  /// |C(u)| for a pattern-node label.
+  size_t CandidateCount(LabelId label) const {
+    if (label == kWildcardLabel) return NumNodes();
+    return snap_ != nullptr ? snap_->CandidateCount(label)
+                            : graph_->NodesWithLabel(label).size();
+  }
+
+  /// Invokes fn(NodeId) -> bool for every candidate of `label`; fn
+  /// returning false aborts the scan (early-exit searches stop paying
+  /// for the remaining candidates). Returns false iff aborted.
+  template <typename Fn>
+  bool ForEachCandidate(LabelId label, Fn&& fn) const {
+    if (label == kWildcardLabel) {
+      const NodeId n = static_cast<NodeId>(NumNodes());
+      for (NodeId v = 0; v < n; ++v) {
+        if (!fn(v)) return false;
+      }
+      return true;
+    }
+    if (snap_ != nullptr) {
+      for (NodeId v : snap_->NodesWithLabel(label)) {
+        if (!fn(v)) return false;
+      }
+    } else {
+      for (NodeId v : graph_->NodesWithLabel(label)) {
+        if (!fn(v)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Invokes fn(NodeId) -> bool for each neighbor of v across an
+  /// `edge_label` edge, outgoing (v -> w) when `out`, incoming (w -> v)
+  /// otherwise; fn returning false aborts the scan. Returns false iff
+  /// aborted. Snapshot: touches exactly the matching label range. Live
+  /// graph: scans the adjacency vector filtering label and overlay state.
+  template <typename Fn>
+  bool ForEachNeighbor(NodeId v, bool out, LabelId edge_label,
+                       Fn&& fn) const {
+    if (snap_ != nullptr) {
+      GraphSnapshot::IdRange r = out ? snap_->OutNeighbors(v, edge_label)
+                                     : snap_->InNeighbors(v, edge_label);
+      for (NodeId w : r) {
+        if (!fn(w)) return false;
+      }
+      return true;
+    }
+    const auto& adj = out ? graph_->OutEdges(v) : graph_->InEdges(v);
+    for (const AdjEntry& e : adj) {
+      if (e.label != edge_label) continue;
+      if (!EdgeInView(e.state, view_)) continue;
+      if (!fn(e.other)) return false;
+    }
+    return true;
+  }
+
+  /// Cost estimate of ForEachNeighbor(v, out, edge_label): exact range
+  /// length for a snapshot, the full adjacency length (an upper bound,
+  /// O(1)) for the live graph. Comparable across anchors within one
+  /// backend, which is all the cheaper-anchor choice needs.
+  size_t NeighborScanCost(NodeId v, bool out, LabelId edge_label) const {
+    if (snap_ != nullptr) {
+      return (out ? snap_->OutNeighbors(v, edge_label)
+                  : snap_->InNeighbors(v, edge_label))
+          .size();
+    }
+    return out ? graph_->OutEdges(v).size() : graph_->InEdges(v).size();
+  }
+
+ private:
+  const Graph* graph_ = nullptr;
+  const GraphSnapshot* snap_ = nullptr;
+  GraphView view_ = GraphView::kNew;
+};
+
+}  // namespace ngd
+
+#endif  // NGD_GRAPH_ACCESSOR_H_

@@ -2,24 +2,25 @@
 
 namespace ngd {
 
-size_t CandidateCount(const Graph& g, LabelId label) {
-  if (label == kWildcardLabel) return g.NumNodes();
-  return g.NodesWithLabel(label).size();
-}
-
-int ChooseStartNode(const Pattern& pattern, const Graph& g) {
+int ChooseStartNode(const Pattern& pattern, const GraphAccessor& g) {
   int best = 0;
   size_t best_count = static_cast<size_t>(-1);
+  // Cache the incumbent's degree: Pattern::Adjacency is a lazily built
+  // per-node vector, and recomputing the incumbent's size on every
+  // tie-break made the loop quadratic in fan-out for wildcard-heavy
+  // patterns where every node ties at |V| candidates.
+  size_t best_degree = 0;
   for (size_t i = 0; i < pattern.NumNodes(); ++i) {
-    size_t c = CandidateCount(g, pattern.node(static_cast<int>(i)).label);
-    // Prefer selective labels; among ties prefer higher pattern degree
-    // (more immediate edge constraints).
-    if (c < best_count ||
-        (c == best_count &&
-         pattern.Adjacency(static_cast<int>(i)).size() >
-             pattern.Adjacency(best).size())) {
-      best = static_cast<int>(i);
+    const int node = static_cast<int>(i);
+    const size_t c = CandidateCount(g, pattern.node(node).label);
+    const size_t degree = pattern.Adjacency(node).size();
+    // Prefer selective labels; among ties — notably all-wildcard
+    // patterns, where every count is |V| — prefer higher pattern degree
+    // (more immediate edge constraints) instead of defaulting to index 0.
+    if (c < best_count || (c == best_count && degree > best_degree)) {
+      best = node;
       best_count = c;
+      best_degree = degree;
     }
   }
   return best;

@@ -2,12 +2,16 @@
 //
 // Candidates are label-indexed: a pattern node labelled l can only match
 // graph nodes labelled l; the wildcard '_' matches every node. The start
-// node of a batch search is chosen to minimize |C(u)| (selectivity).
+// node of a batch search is chosen to minimize |C(u)| (selectivity). All
+// primitives run against a GraphAccessor, so they serve both the live
+// overlay Graph and a CSR GraphSnapshot; the Graph overloads below are
+// thin wrappers kept for the incremental paths and tests.
 
 #ifndef NGD_MATCH_CANDIDATE_INDEX_H_
 #define NGD_MATCH_CANDIDATE_INDEX_H_
 
 #include "core/pattern.h"
+#include "graph/accessor.h"
 #include "graph/graph.h"
 
 namespace ngd {
@@ -18,20 +22,33 @@ inline bool NodeMatchesLabel(const Graph& g, NodeId v, LabelId label) {
 }
 
 /// |C(u)| for a pattern-node label.
-size_t CandidateCount(const Graph& g, LabelId label);
+inline size_t CandidateCount(const GraphAccessor& g, LabelId label) {
+  return g.CandidateCount(label);
+}
+inline size_t CandidateCount(const Graph& g, LabelId label) {
+  return GraphAccessor(g, GraphView::kNew).CandidateCount(label);
+}
 
-/// Invokes fn(NodeId) for every candidate of `label`.
+/// Invokes fn(NodeId) -> bool for every candidate of `label`; fn
+/// returning false aborts the scan. Returns false iff aborted.
 template <typename Fn>
-void ForEachCandidate(const Graph& g, LabelId label, Fn&& fn) {
-  if (label == kWildcardLabel) {
-    for (NodeId v = 0; v < g.NumNodes(); ++v) fn(v);
-    return;
-  }
-  for (NodeId v : g.NodesWithLabel(label)) fn(v);
+bool ForEachCandidate(const GraphAccessor& g, LabelId label, Fn&& fn) {
+  return g.ForEachCandidate(label, std::forward<Fn>(fn));
+}
+template <typename Fn>
+bool ForEachCandidate(const Graph& g, LabelId label, Fn&& fn) {
+  return GraphAccessor(g, GraphView::kNew)
+      .ForEachCandidate(label, std::forward<Fn>(fn));
 }
 
 /// The pattern node with the fewest candidates in g (batch search start).
-int ChooseStartNode(const Pattern& pattern, const Graph& g);
+/// Label-count ties — including the all-wildcard pattern, where every
+/// count is |V| — fall back to the highest-degree pattern node (most
+/// immediate edge constraints on the first expansion).
+int ChooseStartNode(const Pattern& pattern, const GraphAccessor& g);
+inline int ChooseStartNode(const Pattern& pattern, const Graph& g) {
+  return ChooseStartNode(pattern, GraphAccessor(g, GraphView::kNew));
+}
 
 }  // namespace ngd
 

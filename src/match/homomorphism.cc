@@ -1,6 +1,7 @@
 #include "match/homomorphism.h"
 
 #include <cassert>
+#include <cstdint>
 
 namespace ngd {
 
@@ -15,19 +16,26 @@ struct LiteralState {
 
 enum class StepOutcome : uint8_t { kContinue, kPrune, kStop };
 
+/// Literal evaluation against whichever backend the accessor wraps.
+Truth EvalLiteral(const GraphAccessor& g, const Literal& lit,
+                  const Binding& binding) {
+  return g.is_snapshot() ? lit.Evaluate(*g.snapshot(), binding)
+                         : lit.Evaluate(*g.live_graph(), binding);
+}
+
 /// Evaluates the literals that became ready; decides pruning.
-StepOutcome EvalReadyLiterals(const SearchConfig& cfg,
+StepOutcome EvalReadyLiterals(const SearchConfig& cfg, const GraphAccessor& g,
                               const std::vector<int>& ready_x,
                               const std::vector<int>& ready_y,
                               const Binding& binding, LiteralState* ls) {
   if (!cfg.find_violations) return StepOutcome::kContinue;
   for (int i : ready_x) {
-    Truth t = (*cfg.x)[i].Evaluate(*cfg.graph, binding);
+    Truth t = EvalLiteral(g, (*cfg.x)[i], binding);
     assert(t != Truth::kNotReady);
     if (t == Truth::kFalse) return StepOutcome::kPrune;  // h ̸|= X forever
   }
   for (int i : ready_y) {
-    Truth t = (*cfg.y)[i].Evaluate(*cfg.graph, binding);
+    Truth t = EvalLiteral(g, (*cfg.y)[i], binding);
     assert(t != Truth::kNotReady);
     ++ls->y_ready;
     if (t == Truth::kFalse) ls->y_false = true;
@@ -39,9 +47,9 @@ StepOutcome EvalReadyLiterals(const SearchConfig& cfg,
   return StepOutcome::kContinue;
 }
 
-bool Expand(const SearchConfig& cfg, const MatchPlan& plan, size_t step_idx,
-            Binding* binding, LiteralState ls,
-            const MatchCallback& callback) {
+bool Expand(const SearchConfig& cfg, const GraphAccessor& g,
+            const MatchPlan& plan, size_t step_idx, Binding* binding,
+            LiteralState ls, const MatchCallback& callback) {
   if (step_idx == plan.steps.size()) {
     // Full match. In violation mode the literal pruning above guarantees
     // X is satisfied and Y is not (y_false), except for the empty-Y
@@ -50,71 +58,89 @@ bool Expand(const SearchConfig& cfg, const MatchPlan& plan, size_t step_idx,
   }
   const ExpansionStep& step = plan.steps[step_idx];
   const Pattern& pattern = *cfg.pattern;
-  const Graph& g = *cfg.graph;
-  const PatternEdge& anchor_edge = pattern.edge(step.anchor_edge);
-  const NodeId anchor = (*binding)[step.anchor_node];
+
+  // Candidate generation: scan the cheapest anchor among the step's
+  // options, measured by the adjacency range the scan will touch (exact
+  // label-range length on a snapshot, total adjacency on the live
+  // graph). The edges not chosen are verified as closure edges below.
+  size_t chosen_idx = 0;
+  if (step.anchor_options.size() > 1) {
+    size_t best_cost = SIZE_MAX;
+    for (size_t k = 0; k < step.anchor_options.size(); ++k) {
+      const AnchorOption& o = step.anchor_options[k];
+      const size_t cost =
+          g.NeighborScanCost((*binding)[o.anchor_node], o.anchor_out,
+                             pattern.edge(o.edge).label);
+      if (cost < best_cost) {
+        best_cost = cost;
+        chosen_idx = k;
+      }
+    }
+  }
+  const AnchorOption& chosen = step.anchor_options[chosen_idx];
+  const LabelId anchor_label = pattern.edge(chosen.edge).label;
+  const NodeId anchor = (*binding)[chosen.anchor_node];
   const LabelId want_label = pattern.node(step.node).label;
 
-  const auto& adj = step.anchor_out ? g.OutEdges(anchor) : g.InEdges(anchor);
-  for (const AdjEntry& e : adj) {
-    if (e.label != anchor_edge.label) continue;
-    if (!EdgeInView(e.state, cfg.view)) continue;
-    const NodeId cand = e.other;
-    if (!NodeMatchesLabel(g, cand, want_label)) continue;
-    if (cfg.node_scope != nullptr && !cfg.node_scope->Contains(cand)) {
-      continue;
-    }
-    if (cfg.edge_filter != nullptr) {
-      const NodeId src = step.anchor_out ? anchor : cand;
-      const NodeId dst = step.anchor_out ? cand : anchor;
-      if (!cfg.edge_filter->Admit(step.anchor_edge, src, dst, e.label)) {
-        continue;
-      }
-    }
-    // Verify the remaining pattern edges into the matched prefix.
-    bool ok = true;
-    for (int ce : step.check_edges) {
-      const PatternEdge& pe = pattern.edge(ce);
-      const NodeId s = pe.src == step.node ? cand : (*binding)[pe.src];
-      const NodeId d = pe.dst == step.node ? cand : (*binding)[pe.dst];
-      if (!g.HasEdge(s, d, pe.label, cfg.view) ||
-          (cfg.edge_filter != nullptr &&
-           !cfg.edge_filter->Admit(ce, s, d, pe.label))) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
+  return g.ForEachNeighbor(
+      anchor, chosen.anchor_out, anchor_label, [&](NodeId cand) {
+        if (!g.NodeMatchesLabel(cand, want_label)) return true;
+        if (cfg.node_scope != nullptr && !cfg.node_scope->Contains(cand)) {
+          return true;
+        }
+        if (cfg.edge_filter != nullptr) {
+          const NodeId src = chosen.anchor_out ? anchor : cand;
+          const NodeId dst = chosen.anchor_out ? cand : anchor;
+          if (!cfg.edge_filter->Admit(chosen.edge, src, dst, anchor_label)) {
+            return true;
+          }
+        }
+        // Verify the remaining pattern edges into the matched prefix.
+        auto edge_holds = [&](int ce) {
+          const PatternEdge& pe = pattern.edge(ce);
+          const NodeId s = pe.src == step.node ? cand : (*binding)[pe.src];
+          const NodeId d = pe.dst == step.node ? cand : (*binding)[pe.dst];
+          return g.HasEdge(s, d, pe.label) &&
+                 (cfg.edge_filter == nullptr ||
+                  cfg.edge_filter->Admit(ce, s, d, pe.label));
+        };
+        bool ok = true;
+        for (int ce : step.check_edges) {
+          if (ce == chosen.edge) continue;  // promoted to anchor this step
+          if (!edge_holds(ce)) {
+            ok = false;
+            break;
+          }
+        }
+        // A non-default anchor choice demotes the default anchor edge to
+        // a closure check.
+        if (ok && chosen_idx != 0 && !edge_holds(step.anchor_edge)) {
+          ok = false;
+        }
+        if (!ok) return true;
 
-    (*binding)[step.node] = cand;
-    LiteralState child = ls;
-    StepOutcome out =
-        EvalReadyLiterals(cfg, step.ready_x, step.ready_y, *binding, &child);
-    if (out == StepOutcome::kContinue) {
-      if (!Expand(cfg, plan, step_idx + 1, binding, child, callback)) {
+        (*binding)[step.node] = cand;
+        LiteralState child = ls;
+        StepOutcome out = EvalReadyLiterals(cfg, g, step.ready_x,
+                                            step.ready_y, *binding, &child);
+        bool keep_going = true;
+        if (out == StepOutcome::kContinue) {
+          keep_going =
+              Expand(cfg, g, plan, step_idx + 1, binding, child, callback);
+        }
         (*binding)[step.node] = kInvalidNode;
-        return false;
-      }
-    }
-    (*binding)[step.node] = kInvalidNode;
-  }
-  return true;
+        return keep_going;
+      });
 }
 
-}  // namespace
-
-bool RunSeededSearch(const SearchConfig& config, const MatchPlan& plan,
-                     Binding* binding, const MatchCallback& callback) {
-  assert(config.graph != nullptr && config.pattern != nullptr);
-  assert(!config.find_violations ||
-         (config.x != nullptr && config.y != nullptr));
-  const Graph& g = *config.graph;
-
+bool SeededSearchImpl(const SearchConfig& config, const GraphAccessor& g,
+                      const MatchPlan& plan, Binding* binding,
+                      const MatchCallback& callback) {
   // Seeds must satisfy labels and scope.
   for (int s : plan.seeds) {
     const NodeId v = (*binding)[s];
     assert(v != kInvalidNode);
-    if (!NodeMatchesLabel(g, v, config.pattern->node(s).label)) return true;
+    if (!g.NodeMatchesLabel(v, config.pattern->node(s).label)) return true;
     if (config.node_scope != nullptr && !config.node_scope->Contains(v)) {
       return true;
     }
@@ -124,39 +150,56 @@ bool RunSeededSearch(const SearchConfig& config, const MatchPlan& plan,
     const PatternEdge& pe = config.pattern->edge(ce);
     const NodeId s = (*binding)[pe.src];
     const NodeId d = (*binding)[pe.dst];
-    if (!g.HasEdge(s, d, pe.label, config.view)) return true;
+    if (!g.HasEdge(s, d, pe.label)) return true;
     if (config.edge_filter != nullptr &&
         !config.edge_filter->Admit(ce, s, d, pe.label)) {
       return true;
     }
   }
   LiteralState ls;
-  StepOutcome out = EvalReadyLiterals(config, plan.seed_ready_x,
+  StepOutcome out = EvalReadyLiterals(config, g, plan.seed_ready_x,
                                       plan.seed_ready_y, *binding, &ls);
   if (out == StepOutcome::kPrune) return true;
-  return Expand(config, plan, 0, binding, ls, callback);
+  return Expand(config, g, plan, 0, binding, ls, callback);
+}
+
+}  // namespace
+
+bool RunSeededSearch(const SearchConfig& config, const MatchPlan& plan,
+                     Binding* binding, const MatchCallback& callback) {
+  assert((config.graph != nullptr || config.snapshot != nullptr) &&
+         config.pattern != nullptr);
+  assert(!config.find_violations ||
+         (config.x != nullptr && config.y != nullptr));
+  return SeededSearchImpl(config, config.MakeAccessor(), plan, binding,
+                          callback);
+}
+
+bool RunBatchSearchWithPlan(const SearchConfig& config, int start,
+                            const MatchPlan& plan,
+                            const MatchCallback& callback) {
+  assert((config.graph != nullptr || config.snapshot != nullptr) &&
+         config.pattern != nullptr);
+  assert(plan.seeds.size() == 1 && plan.seeds[0] == start);
+  const GraphAccessor g = config.MakeAccessor();
+  Binding binding(config.pattern->NumNodes(), kInvalidNode);
+  return g.ForEachCandidate(config.pattern->node(start).label, [&](NodeId v) {
+    binding[start] = v;
+    const bool keep_going = SeededSearchImpl(config, g, plan, &binding, callback);
+    binding[start] = kInvalidNode;
+    return keep_going;
+  });
 }
 
 bool RunBatchSearch(const SearchConfig& config,
                     const MatchCallback& callback) {
-  assert(config.graph != nullptr && config.pattern != nullptr);
+  assert((config.graph != nullptr || config.snapshot != nullptr) &&
+         config.pattern != nullptr);
   const Pattern& pattern = *config.pattern;
-  const int start = ChooseStartNode(pattern, *config.graph);
+  const int start = ChooseStartNode(pattern, config.MakeAccessor());
   const MatchPlan plan =
       BuildMatchPlan(pattern, {start}, config.x, config.y);
-  Binding binding(pattern.NumNodes(), kInvalidNode);
-  bool keep_going = true;
-  ForEachCandidate(*config.graph, pattern.node(start).label,
-                   [&](NodeId v) {
-                     if (!keep_going) return;
-                     binding[start] = v;
-                     if (!RunSeededSearch(config, plan, &binding,
-                                          callback)) {
-                       keep_going = false;
-                     }
-                     binding[start] = kInvalidNode;
-                   });
-  return keep_going;
+  return RunBatchSearchWithPlan(config, start, plan, callback);
 }
 
 }  // namespace ngd

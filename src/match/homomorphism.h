@@ -22,7 +22,9 @@
 #include <functional>
 
 #include "core/ngd.h"
+#include "graph/accessor.h"
 #include "graph/neighborhood.h"
+#include "graph/snapshot.h"
 #include "match/candidate_index.h"
 #include "match/match_order.h"
 
@@ -43,16 +45,27 @@ class EdgeFilter {
 using MatchCallback = std::function<bool(const Binding&)>;
 
 struct SearchConfig {
+  /// At least one of `graph` / `snapshot` must be set. `snapshot` wins
+  /// when both are: batch detection matches against the CSR snapshot's
+  /// label-partitioned adjacency; incremental detection passes the live
+  /// overlay graph plus `view`.
   const Graph* graph = nullptr;
+  const GraphSnapshot* snapshot = nullptr;
   const Pattern* pattern = nullptr;
   const std::vector<Literal>* x = nullptr;
   const std::vector<Literal>* y = nullptr;
-  GraphView view = GraphView::kNew;
+  GraphView view = GraphView::kNew;  ///< live-graph searches only
   const EdgeFilter* edge_filter = nullptr;   ///< optional
   const NodeSet* node_scope = nullptr;       ///< optional candidate scope
   /// true: emit only violations (X true, Y violated), with literal
   /// pruning; false: emit every match of the pattern.
   bool find_violations = true;
+
+  /// The accessor the engine actually matches against.
+  GraphAccessor MakeAccessor() const {
+    return snapshot != nullptr ? GraphAccessor(*snapshot)
+                               : GraphAccessor(*graph, view);
+  }
 };
 
 /// Runs the plan from pre-seeded `binding` (plan.seeds already bound).
@@ -65,6 +78,14 @@ bool RunSeededSearch(const SearchConfig& config, const MatchPlan& plan,
 /// iterates its candidates, expands each. Returns false iff stopped.
 bool RunBatchSearch(const SearchConfig& config,
                     const MatchCallback& callback);
+
+/// Batch search with a caller-chosen start node and prebuilt plan
+/// (plan.seeds must be {start}). Dect and PDect hoist start/plan
+/// selection out of the per-candidate loop so a rule's plan is built
+/// once per detection call. Returns false iff stopped.
+bool RunBatchSearchWithPlan(const SearchConfig& config, int start,
+                            const MatchPlan& plan,
+                            const MatchCallback& callback);
 
 }  // namespace ngd
 

@@ -88,13 +88,19 @@ MatchPlan BuildMatchPlan(const Pattern& pattern, std::vector<int> seeds,
     for (const auto& adj : pattern.Adjacency(best)) {
       if (!bound[adj.other] && adj.other != best) continue;
       if (edge_used[adj.edge_index]) continue;
-      if (step.anchor_edge < 0 && adj.other != best) {
-        step.anchor_node = adj.other;
-        step.anchor_edge = adj.edge_index;
+      if (adj.other != best) {
         // adj.out is from `best`'s perspective: best -> other. The anchor
         // scans from `other`, so the anchor's outgoing direction is the
         // reverse.
-        step.anchor_out = !adj.out;
+        step.anchor_options.push_back(
+            AnchorOption{adj.edge_index, adj.other, !adj.out});
+        if (step.anchor_edge < 0) {
+          step.anchor_node = adj.other;
+          step.anchor_edge = adj.edge_index;
+          step.anchor_out = !adj.out;
+        } else {
+          step.check_edges.push_back(adj.edge_index);
+        }
       } else {
         step.check_edges.push_back(adj.edge_index);
       }

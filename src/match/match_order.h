@@ -23,6 +23,14 @@
 
 namespace ngd {
 
+/// One way to drive a step's candidate generation: scan the adjacency of
+/// an already-matched pattern node across the given pattern edge.
+struct AnchorOption {
+  int edge = -1;        ///< pattern edge index anchor<->node
+  int anchor_node = -1; ///< previously matched pattern node
+  bool anchor_out = false;  ///< true: anchor -> node in the graph
+};
+
 struct ExpansionStep {
   int node = -1;         ///< pattern node matched at this step
   int anchor_node = -1;  ///< previously matched pattern node
@@ -32,6 +40,11 @@ struct ExpansionStep {
   /// self-loops on `node`) verified after candidate selection, anchor edge
   /// excluded.
   std::vector<int> check_edges;
+  /// Every non-self-loop edge between `node` and the prefix, each a valid
+  /// anchor; [0] is the default (anchor_node/anchor_edge/anchor_out
+  /// above). When several exist, Expand picks the one with the shortest
+  /// adjacency range at runtime and verifies the rest as closure edges.
+  std::vector<AnchorOption> anchor_options;
   std::vector<int> ready_x;  ///< X-literal indices becoming bound here
   std::vector<int> ready_y;  ///< Y-literal indices becoming bound here
 };

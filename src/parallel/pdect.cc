@@ -1,5 +1,6 @@
 #include "parallel/pdect.h"
 
+#include <optional>
 #include <thread>
 
 #include "util/timer.h"
@@ -12,6 +13,14 @@ PDectResult PDect(const Graph& g, const NgdSet& sigma,
   const int p = std::max(1, opts.num_processors);
   PartitionResult partition = PartitionGraph(g, p);
 
+  // One immutable CSR snapshot shared (read-only) by all processors;
+  // built before the clock-relevant matching work starts and amortized
+  // across every rule in Σ.
+  std::optional<GraphSnapshot> snap;
+  if (ResolveSnapshot(g, sigma, opts.snapshot_mode)) snap.emplace(g, opts.view);
+  const GraphAccessor acc = snap ? GraphAccessor(*snap)
+                                 : GraphAccessor(g, opts.view);
+
   // Static seed assignment: per NGD, candidates of the start node go to
   // the processor owning their fragment.
   struct Seed {
@@ -23,11 +32,12 @@ PDectResult PDect(const Graph& g, const NgdSet& sigma,
   std::vector<int> start_of(sigma.size());
   for (size_t f = 0; f < sigma.size(); ++f) {
     const Pattern& pattern = sigma[f].pattern();
-    const int start = ChooseStartNode(pattern, g);
+    const int start = ChooseStartNode(pattern, acc);
     start_of[f] = start;
-    ForEachCandidate(g, pattern.node(start).label, [&](NodeId v) {
+    ForEachCandidate(acc, pattern.node(start).label, [&](NodeId v) {
       assigned[partition.fragment_of[v]].push_back(
           Seed{static_cast<int>(f), start, v});
+      return true;
     });
   }
 
@@ -48,6 +58,7 @@ PDectResult PDect(const Graph& g, const NgdSet& sigma,
         const Ngd& ngd = sigma[seed.ngd_index];
         SearchConfig cfg;
         cfg.graph = &g;
+        cfg.snapshot = snap ? &*snap : nullptr;
         cfg.pattern = &ngd.pattern();
         cfg.x = &ngd.X();
         cfg.y = &ngd.Y();

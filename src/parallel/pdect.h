@@ -19,6 +19,10 @@ namespace ngd {
 struct PDectOptions {
   int num_processors = 4;
   GraphView view = GraphView::kNew;
+  /// kAuto (default): build one CSR GraphSnapshot shared by all workers
+  /// when the Dect cost model says the build amortizes; kAlways/kNever
+  /// force the choice.
+  SnapshotMode snapshot_mode = SnapshotMode::kAuto;
 };
 
 struct PDectResult {

@@ -331,13 +331,15 @@ class PIncDectEngine {
     }
   }
 
-  void EmitIfCanonical(int worker, const PWorkUnit& unit,
-                       const Pattern& pattern, UpdateKind kind) {
+  /// Consumes the unit: a full-depth unit is dead after emission, so its
+  /// binding is moved — not copied — into the Violation.
+  void EmitIfCanonical(int worker, PWorkUnit& unit, const Pattern& pattern,
+                       UpdateKind kind) {
     if (!IsCanonicalPivot(g_, pattern, unit.binding, index_, kind,
                           unit.update_index, unit.pattern_edge)) {
       return;
     }
-    Violation v{unit.ngd_index, unit.binding};
+    Violation v{unit.ngd_index, std::move(unit.binding)};
     if (kind == UpdateKind::kInsert) {
       local_added_[worker].Add(std::move(v));
     } else {

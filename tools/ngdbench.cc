@@ -1,0 +1,320 @@
+// ngdbench: one-shot detection benchmark emitting BENCH JSON.
+//
+// Builds a pinned synthetic workload (generators.h + ngd_generator.h, so
+// runs are reproducible from the seed alone), then times the batch
+// detection pipeline stage by stage:
+//
+//   graph_build    — generator -> live overlay Graph
+//   rule_gen       — Σ sampled against the graph
+//   snapshot_build — Graph -> CSR GraphSnapshot (the amortized cost)
+//   dect_live      — Dect against the live graph (pre-snapshot engine)
+//   dect_snapshot  — Dect against the snapshot
+//   pdect          — PDect over the shared snapshot
+//
+// Every timed engine stage (snapshot_build, dect_*, pdect) runs
+// --repetitions times and reports the minimum (the standard noise floor
+// for perf tracking); graph_build and rule_gen run once — they seed the
+// fixed inputs the engine stages share. The result is a single JSON
+// object written to --out (default BENCH_detect.json) and echoed to
+// stdout. CI runs this on a pinned workload each push and uploads the
+// JSON as an artifact, so the perf trajectory of the matching engine is
+// recorded from PR 2 onward (see EXPERIMENTS.md).
+//
+// Unlike the bench/ binaries this tool links only libngd — no
+// google-benchmark dependency — so it runs anywhere the library builds.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detect/dect.h"
+#include "discovery/ngd_generator.h"
+#include "graph/generators.h"
+#include "graph/snapshot.h"
+#include "parallel/pdect.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace ngd {
+namespace {
+
+constexpr const char* kUsage = R"(usage: ngdbench [options]
+
+Times NGD batch detection (live graph vs CSR snapshot) on a pinned
+synthetic workload and writes the timings as BENCH JSON.
+
+options:
+  --nodes N          graph size (default 20000)
+  --edges N          edge count (default 60000)
+  --rules N          NGDs in Sigma (default 20)
+  --wildcard-prob P  wildcard density in generated patterns (default 0.6)
+  --pref-attach P    preferential-attachment fraction; higher = heavier
+                     degree tail (default 0.85)
+  --node-labels N    node-label alphabet size; smaller = larger candidate
+                     sets (default 25)
+  --edge-labels N    edge-label alphabet size; larger = more selective
+                     label ranges (default 50)
+  --violation-rate P fraction of rule thresholds tightened to violate
+                     (default 0.02; note the pinned default workload is
+                     still violation-heavy — wildcard-dense rules on a
+                     heavy-tailed graph — so result materialization
+                     dominates and the live/snapshot ratio hugs 1; see
+                     EXPERIMENTS.md section 3)
+  --seed S           workload seed (default 7)
+  --parallel N       processors for the PDect stage (default 4)
+  --repetitions R    timed repetitions per stage, minimum reported
+                     (default 3)
+  --out FILE         output path (default BENCH_detect.json; "-" = stdout
+                     only)
+  --help             show this message
+)";
+
+struct Options {
+  size_t nodes = 20000;
+  size_t edges = 60000;
+  size_t rules = 20;
+  double wildcard_prob = 0.6;
+  double pref_attach = 0.85;
+  size_t node_labels = 25;
+  size_t edge_labels = 50;
+  double violation_rate = 0.02;
+  uint64_t seed = 7;
+  int parallel = 4;
+  int repetitions = 3;
+  std::string out = "BENCH_detect.json";
+};
+
+bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        *error = std::string(arg) + " requires a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto parse_count = [&](size_t* dst) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      auto n = ParseInt64(v);
+      if (!n || *n <= 0) {
+        *error = std::string(arg) + " requires a positive count";
+        return false;
+      }
+      *dst = static_cast<size_t>(*n);
+      return true;
+    };
+    auto parse_prob = [&](double* dst) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      double p = std::strtod(v, &end);
+      if (end == v || *end != '\0' || p < 0.0 || p > 1.0) {
+        *error = std::string(arg) + " requires a probability in [0, 1]";
+        return false;
+      }
+      *dst = p;
+      return true;
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (arg == "--nodes") {
+      if (!parse_count(&opts->nodes)) return false;
+    } else if (arg == "--edges") {
+      if (!parse_count(&opts->edges)) return false;
+    } else if (arg == "--rules") {
+      if (!parse_count(&opts->rules)) return false;
+    } else if (arg == "--wildcard-prob") {
+      if (!parse_prob(&opts->wildcard_prob)) return false;
+    } else if (arg == "--pref-attach") {
+      if (!parse_prob(&opts->pref_attach)) return false;
+    } else if (arg == "--node-labels") {
+      if (!parse_count(&opts->node_labels)) return false;
+    } else if (arg == "--edge-labels") {
+      if (!parse_count(&opts->edge_labels)) return false;
+    } else if (arg == "--violation-rate") {
+      if (!parse_prob(&opts->violation_rate)) return false;
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      auto n = ParseInt64(v);
+      if (!n || *n < 0) {
+        *error = "--seed requires a non-negative integer";
+        return false;
+      }
+      opts->seed = static_cast<uint64_t>(*n);
+    } else if (arg == "--parallel") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      auto n = ParseInt64(v);
+      if (!n || *n <= 0 || *n > 1024) {
+        *error = "--parallel requires a processor count in [1, 1024]";
+        return false;
+      }
+      opts->parallel = static_cast<int>(*n);
+    } else if (arg == "--repetitions") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      auto n = ParseInt64(v);
+      if (!n || *n <= 0 || *n > 1000) {
+        *error = "--repetitions requires a count in [1, 1000]";
+        return false;
+      }
+      opts->repetitions = static_cast<int>(*n);
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts->out = v;
+    } else {
+      *error = "unknown argument: " + std::string(arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Minimum elapsed seconds of `reps` runs of fn().
+template <typename Fn>
+double TimeMin(int reps, Fn&& fn) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    double s = t.ElapsedSeconds();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+int Run(const Options& opts) {
+  GraphGenConfig config = SyntheticConfig(opts.nodes, opts.edges, opts.seed);
+  config.pref_attach = opts.pref_attach;
+  config.num_node_labels = opts.node_labels;
+  config.num_edge_labels = opts.edge_labels;
+
+  SchemaPtr schema = Schema::Create();
+  std::unique_ptr<Graph> graph;
+  const double graph_build_s = TimeMin(1, [&]() {
+    graph = GenerateGraph(config, schema);
+  });
+
+  NgdGenOptions gen;
+  gen.count = opts.rules;
+  gen.max_diameter = 3;
+  gen.seed = opts.seed + 1;
+  gen.violation_rate = opts.violation_rate;
+  gen.wildcard_prob = opts.wildcard_prob;
+  NgdSet sigma;
+  const double rule_gen_s = TimeMin(1, [&]() {
+    sigma = GenerateNgdSet(*graph, gen);
+  });
+  if (sigma.empty()) {
+    std::cerr << "ngdbench: rule generation produced an empty Sigma\n";
+    return 1;
+  }
+
+  const double snapshot_build_s = TimeMin(opts.repetitions, [&]() {
+    GraphSnapshot snap(*graph, GraphView::kNew);
+    if (snap.NumNodes() != graph->NumNodes()) std::abort();
+  });
+
+  size_t live_violations = 0;
+  const double dect_live_s = TimeMin(opts.repetitions, [&]() {
+    DectOptions d{GraphView::kNew, 0, SnapshotMode::kNever};
+    live_violations = Dect(*graph, sigma, d).size();
+  });
+
+  size_t snapshot_violations = 0;
+  const double dect_snapshot_s = TimeMin(opts.repetitions, [&]() {
+    DectOptions d{GraphView::kNew, 0, SnapshotMode::kAlways};
+    snapshot_violations = Dect(*graph, sigma, d).size();
+  });
+
+  size_t pdect_violations = 0;
+  const double pdect_s = TimeMin(opts.repetitions, [&]() {
+    PDectOptions p;
+    p.num_processors = opts.parallel;
+    p.snapshot_mode = SnapshotMode::kAlways;  // the metric is pinned
+    pdect_violations = PDect(*graph, sigma, p).vio.size();
+  });
+
+  if (live_violations != snapshot_violations ||
+      live_violations != pdect_violations) {
+    std::cerr << "ngdbench: engines disagree: live=" << live_violations
+              << " snapshot=" << snapshot_violations
+              << " pdect=" << pdect_violations << "\n";
+    return 1;
+  }
+
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"bench\": \"detect\",\n";
+  js << "  \"workload\": {\n";
+  js << "    \"nodes\": " << graph->NumNodes() << ",\n";
+  js << "    \"edges\": " << graph->NumEdges(GraphView::kNew) << ",\n";
+  js << "    \"rules\": " << sigma.size() << ",\n";
+  js << "    \"wildcard_prob\": " << opts.wildcard_prob << ",\n";
+  js << "    \"pref_attach\": " << opts.pref_attach << ",\n";
+  js << "    \"node_labels\": " << opts.node_labels << ",\n";
+  js << "    \"edge_labels\": " << opts.edge_labels << ",\n";
+  js << "    \"seed\": " << opts.seed << "\n";
+  js << "  },\n";
+  js << "  \"repetitions\": " << opts.repetitions << ",\n";
+  js << "  \"violations\": " << live_violations << ",\n";
+  js << "  \"timings_seconds\": {\n";
+  js << "    \"graph_build\": " << graph_build_s << ",\n";
+  js << "    \"rule_gen\": " << rule_gen_s << ",\n";
+  js << "    \"snapshot_build\": " << snapshot_build_s << ",\n";
+  js << "    \"dect_live\": " << dect_live_s << ",\n";
+  js << "    \"dect_snapshot\": " << dect_snapshot_s << ",\n";
+  js << "    \"pdect_snapshot_p" << opts.parallel << "\": " << pdect_s
+     << "\n";
+  js << "  },\n";
+  js << "  \"speedups\": {\n";
+  js << "    \"dect_snapshot_vs_live\": "
+     << (dect_snapshot_s > 0 ? dect_live_s / dect_snapshot_s : -1.0) << ",\n";
+  // How many live-engine Dect calls one snapshot build is worth: the
+  // build amortizes when this is large.
+  js << "    \"dect_live_over_snapshot_build\": "
+     << (snapshot_build_s > 0 ? dect_live_s / snapshot_build_s : -1.0)
+     << "\n";
+  js << "  }\n";
+  js << "}\n";
+
+  const std::string json = js.str();
+  std::fputs(json.c_str(), stdout);
+  if (opts.out != "-") {
+    std::ofstream f(opts.out);
+    if (!f.is_open()) {
+      std::cerr << "ngdbench: cannot write " << opts.out << "\n";
+      return 1;
+    }
+    f << json;
+    f.flush();
+    if (!f.good()) {
+      std::cerr << "ngdbench: write failed for " << opts.out << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ngd
+
+int main(int argc, char** argv) {
+  ngd::Options opts;
+  std::string error;
+  if (!ngd::ParseArgs(argc, argv, &opts, &error)) {
+    std::cerr << "ngdbench: " << error << "\n\n" << ngd::kUsage;
+    return 1;
+  }
+  return ngd::Run(opts);
+}
