@@ -12,6 +12,8 @@
 namespace {
 
 using ngd::bench::CachedWorkload;
+using ngd::bench::DeltaViewIncOptions;
+using ngd::bench::DeltaViewVariantOptions;
 using ngd::bench::MakeBatch;
 using ngd::bench::RegisterTimed;
 using ngd::bench::RunDect;
@@ -37,6 +39,21 @@ const GraphCase kGraphs[] = {
     {"pokec-like", 'c'},
     {"synthetic", 'd'},
 };
+
+// One kOld base snapshot per graph case, built on first use and shared
+// by every _dv measurement — the "one per commit epoch, reused across
+// batches" shape. Batch-independent: bench batches create no nodes and
+// Rollback restores the base graph after each measurement.
+const ngd::GraphSnapshot& CachedBaseSnapshot(const std::string& key,
+                                             const ngd::Graph& g) {
+  static auto* cache = new std::map<std::string, ngd::GraphSnapshot>();
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, ngd::GraphSnapshot(g, ngd::GraphView::kOld))
+             .first;
+  }
+  return it->second;
+}
 
 WorkloadSpec SpecFor(const std::string& name) {
   WorkloadSpec spec;
@@ -86,6 +103,16 @@ void RegisterAll() {
                     with_batch([](Workload& w, const ngd::UpdateBatch& b) {
                       return RunIncDect(w, b);
                     }));
+      // Live vs DeltaView: the _dv series reuse a base snapshot built
+      // outside the timed region (one per commit epoch in production),
+      // so they measure exactly the per-batch incremental cost.
+      RegisterTimed(Key(gc, "IncDect_dv", fraction),
+                    with_batch([gc](Workload& w, const ngd::UpdateBatch& b) {
+                      return RunIncDect(
+                          w, b,
+                          DeltaViewIncOptions(
+                              CachedBaseSnapshot(gc.name, *w.graph)));
+                    }));
       RegisterTimed(Key(gc, "PDect", fraction),
                     with_batch([](Workload& w, const ngd::UpdateBatch&) {
                       return RunPDect(w, kProcessors);
@@ -98,6 +125,14 @@ void RegisterAll() {
               return RunPIncDect(w, b, VariantOptions(variant, kProcessors));
             }));
       }
+      RegisterTimed(Key(gc, "PIncDect_dv", fraction),
+                    with_batch([gc](Workload& w, const ngd::UpdateBatch& b) {
+                      return RunPIncDect(
+                          w, b,
+                          DeltaViewVariantOptions(
+                              "PIncDect", kProcessors,
+                              CachedBaseSnapshot(gc.name, *w.graph)));
+                    }));
     }
   }
 }
@@ -123,9 +158,25 @@ void PrintShapeCheck() {
     std::printf("  hybrid gain at dG=15%%: PIncDect %.2fx faster than "
                 "PIncDect_NO (paper: ~1.5-1.8x)\n",
                 no_over_full);
+    for (double fraction : kFractions) {
+      double dv_inc = store.Speedup(Key(gc, "IncDect", fraction),
+                                    Key(gc, "IncDect_dv", fraction));
+      double dv_pinc = store.Speedup(Key(gc, "PIncDect", fraction),
+                                     Key(gc, "PIncDect_dv", fraction));
+      std::printf(
+          "  dG=%2d%%: DeltaView IncDect %5.2fx over live | DeltaView "
+          "PIncDect %5.2fx over live\n",
+          static_cast<int>(fraction * 100), dv_inc, dv_pinc);
+    }
   }
   std::printf(
-      "paper shape: speedup shrinks as dG grows; crossover past ~33%%.\n");
+      "paper shape: speedup shrinks as dG grows; crossover past ~33%%.\n"
+      "DeltaView note: these 1/500-scale panels are sparse and "
+      "cache-resident, so live whole-adjacency scans are near-free and "
+      "the two backends roughly tie (~0.6-1.2x; EXPERIMENTS.md section "
+      "4). The scan-bound regime that carries the >= 1.5x DeltaView "
+      "target is the pinned hub sweep in BENCH_detect.json "
+      "(tools/ngdbench, fig4ad_sweep: >= 2.5x seq, ~4x parallel).\n");
 }
 
 }  // namespace

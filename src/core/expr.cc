@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/delta_view.h"
 #include "graph/snapshot.h"
 
 namespace ngd {
@@ -208,6 +209,10 @@ EvalResult Expr::Evaluate(const Graph& g, const Binding& binding) const {
 
 EvalResult Expr::Evaluate(const GraphSnapshot& g,
                           const Binding& binding) const {
+  return EvaluateImpl(*this, g, binding);
+}
+
+EvalResult Expr::Evaluate(const DeltaView& g, const Binding& binding) const {
   return EvaluateImpl(*this, g, binding);
 }
 

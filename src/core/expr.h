@@ -27,6 +27,7 @@
 namespace ngd {
 
 class GraphSnapshot;
+class DeltaView;
 
 /// A (possibly partial) homomorphism: var index -> node id, kInvalidNode
 /// when the variable is not yet matched.
@@ -107,11 +108,13 @@ class Expr {
   /// Appends the distinct variable indices referenced, in first-use order.
   void CollectVars(std::vector<int>* vars) const;
 
-  /// Exact evaluation under the (partial) binding. The two overloads
-  /// differ only in where x.A terms read attributes from: the live
-  /// overlay graph or an immutable CSR snapshot of one view.
+  /// Exact evaluation under the (partial) binding. The overloads differ
+  /// only in where x.A terms read attributes from: the live overlay
+  /// graph, an immutable CSR snapshot of one view, or a batch-update
+  /// delta view over a base snapshot.
   EvalResult Evaluate(const Graph& g, const Binding& binding) const;
   EvalResult Evaluate(const GraphSnapshot& g, const Binding& binding) const;
+  EvalResult Evaluate(const DeltaView& g, const Binding& binding) const;
 
   /// Renders with the given variable names (pattern-provided) and schema
   /// attribute names.

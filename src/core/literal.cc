@@ -66,7 +66,7 @@ void Literal::CollectVars(std::vector<int>* vars) const {
 namespace {
 
 /// Compares two evaluated sides under `op` (the type/missing discipline
-/// of paper §3); shared by the live-graph and snapshot overloads.
+/// of paper §3); shared by all backend overloads.
 Truth CompareResults(const EvalResult& l, const EvalResult& r, CmpOp op);
 
 }  // namespace
@@ -77,6 +77,11 @@ Truth Literal::Evaluate(const Graph& g, const Binding& binding) const {
 }
 
 Truth Literal::Evaluate(const GraphSnapshot& g, const Binding& binding) const {
+  return CompareResults(lhs_.Evaluate(g, binding), rhs_.Evaluate(g, binding),
+                        op_);
+}
+
+Truth Literal::Evaluate(const DeltaView& g, const Binding& binding) const {
   return CompareResults(lhs_.Evaluate(g, binding), rhs_.Evaluate(g, binding),
                         op_);
 }

@@ -51,10 +51,11 @@ class Literal {
 
   /// Three-valued evaluation under a partial binding. kFalse includes the
   /// attribute-missing and type-mismatch cases (condition (a)). The
-  /// snapshot overload reads attributes from the CSR snapshot instead of
-  /// the live overlay graph.
+  /// snapshot / delta-view overloads read attributes from those backends
+  /// instead of the live overlay graph.
   Truth Evaluate(const Graph& g, const Binding& binding) const;
   Truth Evaluate(const GraphSnapshot& g, const Binding& binding) const;
+  Truth Evaluate(const DeltaView& g, const Binding& binding) const;
 
   std::string ToString(const std::vector<std::string>& var_names,
                        const Dictionary& attr_dict) const;

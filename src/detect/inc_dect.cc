@@ -61,16 +61,25 @@ std::vector<PivotTask> EnumeratePivotTasks(const Graph& g,
   return tasks;
 }
 
-bool IsCanonicalPivot(const Graph& g, const Pattern& pattern,
-                      const Binding& binding, const UpdateIndex& index,
-                      UpdateKind kind, int update_index, int pattern_edge) {
-  (void)g;
+namespace {
+
+/// The one copy of the (update, pattern-edge) tie-break that defines
+/// exactly-once emission; `maybe_update(src, dst, label)` lets a backend
+/// skip edges it can prove are not update records before the hash lookup.
+template <typename MaybeUpdate>
+bool IsCanonicalPivotImpl(const Pattern& pattern, const Binding& binding,
+                          const UpdateIndex& index, UpdateKind kind,
+                          int update_index, int pattern_edge,
+                          const MaybeUpdate& maybe_update) {
   int best_update = update_index;
   int best_edge = pattern_edge;
   for (size_t p = 0; p < pattern.NumEdges(); ++p) {
     const PatternEdge& pe = pattern.edge(static_cast<int>(p));
-    EdgeKey key{binding[pe.src], binding[pe.dst], pe.label};
-    std::optional<int> idx = index.IndexOf(kind, key);
+    const NodeId src = binding[pe.src];
+    const NodeId dst = binding[pe.dst];
+    if (!maybe_update(src, dst, pe.label)) continue;
+    std::optional<int> idx =
+        index.IndexOf(kind, EdgeKey{src, dst, pe.label});
     if (!idx.has_value()) continue;
     if (*idx < best_update ||
         (*idx == best_update && static_cast<int>(p) < best_edge)) {
@@ -79,6 +88,31 @@ bool IsCanonicalPivot(const Graph& g, const Pattern& pattern,
     }
   }
   return best_update == update_index && best_edge == pattern_edge;
+}
+
+}  // namespace
+
+bool IsCanonicalPivot(const Graph& g, const Pattern& pattern,
+                      const Binding& binding, const UpdateIndex& index,
+                      UpdateKind kind, int update_index, int pattern_edge) {
+  (void)g;
+  return IsCanonicalPivotImpl(pattern, binding, index, kind, update_index,
+                              pattern_edge,
+                              [](NodeId, NodeId, LabelId) { return true; });
+}
+
+bool IsCanonicalPivot(const DeltaView& dv, const Pattern& pattern,
+                      const Binding& binding, const UpdateIndex& index,
+                      UpdateKind kind, int update_index, int pattern_edge) {
+  // DeltaView and UpdateIndex apply the same effectiveness predicate, so
+  // the span check is exactly IndexOf(...).has_value() — at the cost of
+  // one bitmap byte for the base edges that dominate.
+  const bool insert_side = kind == UpdateKind::kInsert;
+  return IsCanonicalPivotImpl(
+      pattern, binding, index, kind, update_index, pattern_edge,
+      [&dv, insert_side](NodeId src, NodeId dst, LabelId label) {
+        return dv.IsDeltaEdge(insert_side, src, dst, label);
+      });
 }
 
 Status ValidateForIncremental(const NgdSet& sigma) {
@@ -100,12 +134,154 @@ Status ValidateForIncremental(const NgdSet& sigma) {
   return Status::OK();
 }
 
+namespace {
+
+/// Budgeted BFS ball over the union of both views (every adjacency entry,
+/// any overlay state — a superset of each view's ball, so it is a sound
+/// scope for ΔVio+ and ΔVio- searches alike). Returns false and leaves
+/// the ball partial once more than `budget` nodes are visited.
+bool BoundedUnionBall(const Graph& g, const std::vector<NodeId>& seeds,
+                      int d, size_t budget, NodeSet* ball) {
+  std::vector<NodeId> frontier;
+  for (NodeId v : seeds) {
+    if (ball->Contains(v)) continue;
+    ball->Add(v);
+    frontier.push_back(v);
+    if (ball->size() > budget) return false;
+  }
+  for (int hop = 0; hop < d && !frontier.empty(); ++hop) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (const auto* adj : {&g.OutEdges(v), &g.InEdges(v)}) {
+        for (const AdjEntry& e : *adj) {
+          if (ball->Contains(e.other)) continue;
+          ball->Add(e.other);
+          next.push_back(e.other);
+          if (ball->size() > budget) return false;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return true;
+}
+
+}  // namespace
+
+AffectedArea::AffectedArea(const Graph& g, const NgdSet& sigma,
+                           const UpdateIndex& index) {
+  std::vector<NodeId> seeds;
+  seeds.reserve(index.updates().size() * 2);
+  for (const EffectiveUpdate& u : index.updates()) {
+    seeds.push_back(u.edge.src);
+    seeds.push_back(u.edge.dst);
+  }
+  const size_t budget = std::max<size_t>(256, g.NumNodes() / 8);
+
+  // One ball per distinct diameter; each with the set of node labels it
+  // contains, for the candidate-array intersection below.
+  std::vector<int> diameter_of_ball;
+  std::vector<std::vector<uint8_t>> labels_in_ball;
+  const size_t num_labels = g.schema()->labels().size();
+  ball_of_rule_.resize(sigma.size());
+  for (size_t f = 0; f < sigma.size(); ++f) {
+    const int d = sigma[f].pattern().Diameter();
+    auto it = std::find(diameter_of_ball.begin(), diameter_of_ball.end(), d);
+    if (it != diameter_of_ball.end()) {
+      ball_of_rule_[f] = static_cast<int>(it - diameter_of_ball.begin());
+      continue;
+    }
+    diameter_of_ball.push_back(d);
+    NodeSet ball(g.NumNodes());
+    const bool bounded = BoundedUnionBall(g, seeds, d, budget, &ball);
+    labels_in_ball.emplace_back();
+    if (bounded) {
+      labels_in_ball.back().assign(num_labels, 0);
+      for (NodeId v : ball.members()) {
+        labels_in_ball.back()[g.NodeLabel(v)] = 1;
+      }
+    }
+    balls_.push_back(std::move(ball));
+    bounded_.push_back(bounded);
+    ball_of_rule_[f] = static_cast<int>(balls_.size()) - 1;
+  }
+
+  rule_can_match_.resize(sigma.size());
+  for (size_t f = 0; f < sigma.size(); ++f) {
+    const Pattern& pattern = sigma[f].pattern();
+    const int b = ball_of_rule_[f];
+    if (!bounded_[b]) {
+      rule_can_match_[f] = true;  // saturated ball: prune nothing
+      continue;
+    }
+    const std::vector<uint8_t>& present = labels_in_ball[b];
+    bool ok = !balls_[b].empty();
+    for (size_t u = 0; ok && u < pattern.NumNodes(); ++u) {
+      const LabelId l = pattern.node(static_cast<int>(u)).label;
+      if (l == kWildcardLabel) continue;
+      if (l >= present.size() || !present[l]) ok = false;
+    }
+    rule_can_match_[f] = ok;
+  }
+}
+
+bool WantDeltaView(const Graph& g, const UpdateIndex& index,
+                   const std::vector<PivotTask>& tasks) {
+  // Depth-1 frontier: every pivot task streams the adjacency of both of
+  // its endpoints at least once before any recursion — a lower bound on
+  // what the live engine scans. The base-snapshot build streams
+  // |V| + 2|E| entries with a sort-like constant; require the frontier to
+  // exceed a small multiple of that before paying the build.
+  const size_t build_cost = g.NumNodes() + g.NumEdges(GraphView::kOld) +
+                            g.NumEdges(GraphView::kNew);
+  const size_t threshold = 2 * build_cost;
+  size_t frontier = 0;
+  for (const PivotTask& t : tasks) {
+    const EffectiveUpdate& u = index.updates()[t.update_index];
+    frontier += g.AdjSize(u.edge.src) + g.AdjSize(u.edge.dst);
+    if (frontier >= threshold) return true;
+  }
+  return false;
+}
+
+bool ResolveDeltaView(const Graph& g, const UpdateIndex& index,
+                      const std::vector<PivotTask>& tasks, SnapshotMode mode,
+                      bool base_snapshot_provided) {
+  switch (mode) {
+    case SnapshotMode::kAlways:
+      return true;
+    case SnapshotMode::kNever:
+      return false;
+    case SnapshotMode::kAuto:
+      break;
+  }
+  return base_snapshot_provided || WantDeltaView(g, index, tasks);
+}
+
 StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
-                           const UpdateBatch& batch) {
+                           const UpdateBatch& batch,
+                           const IncDectOptions& opts) {
   NGD_RETURN_IF_ERROR(ValidateForIncremental(sigma));
 
   UpdateIndex index(g, batch);
   std::vector<PivotTask> tasks = EnumeratePivotTasks(g, sigma, index);
+
+  std::optional<AffectedArea> area;
+  if (opts.affected_area_prefilter) area.emplace(g, sigma, index);
+
+  // Backend: live overlay graph, or DeltaView over the base snapshot
+  // (owned when the caller does not maintain one across batches).
+  std::optional<GraphSnapshot> owned_base;
+  std::optional<DeltaView> dv;
+  if (ResolveDeltaView(g, index, tasks, opts.snapshot_mode,
+                       opts.base_snapshot != nullptr)) {
+    const GraphSnapshot* base = opts.base_snapshot;
+    if (base == nullptr) {
+      owned_base.emplace(g, GraphView::kOld);
+      base = &*owned_base;
+    }
+    dv.emplace(*base, g, batch);
+  }
 
   // Plan cache: one expansion order per (NGD, pattern edge) seed pair.
   std::unordered_map<int64_t, MatchPlan> plans;
@@ -124,19 +300,27 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
 
   DeltaVio delta;
   for (const PivotTask& task : tasks) {
+    if (area.has_value() && !area->RuleCanMatch(task.ngd_index)) continue;
     const Ngd& ngd = sigma[task.ngd_index];
     const EffectiveUpdate& u = index.updates()[task.update_index];
     const PatternEdge& pe = ngd.pattern().edge(task.pattern_edge);
 
-    PivotEdgeFilter filter(&index, u.kind, task.update_index);
+    PivotEdgeFilter live_filter(&index, u.kind, task.update_index);
+    DeltaViewPivotEdgeFilter dv_filter(dv.has_value() ? &*dv : nullptr,
+                                       &index, u.kind, task.update_index);
     SearchConfig cfg;
     cfg.graph = &g;
+    cfg.delta_view = dv.has_value() ? &*dv : nullptr;
     cfg.pattern = &ngd.pattern();
     cfg.x = &ngd.X();
     cfg.y = &ngd.Y();
     cfg.view =
         u.kind == UpdateKind::kInsert ? GraphView::kNew : GraphView::kOld;
-    cfg.edge_filter = &filter;
+    cfg.edge_filter =
+        dv.has_value() ? static_cast<const EdgeFilter*>(&dv_filter)
+                       : static_cast<const EdgeFilter*>(&live_filter);
+    cfg.node_scope =
+        area.has_value() ? area->ScopeOf(task.ngd_index) : nullptr;
     cfg.find_violations = true;
 
     Binding binding(ngd.pattern().NumNodes(), kInvalidNode);
@@ -147,9 +331,17 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
         u.kind == UpdateKind::kInsert ? delta.added : delta.removed;
     RunSeededSearch(cfg, plan_for(task.ngd_index, task.pattern_edge),
                     &binding, [&](const Binding& match) {
-                      if (IsCanonicalPivot(g, ngd.pattern(), match, index,
-                                           u.kind, task.update_index,
-                                           task.pattern_edge)) {
+                      const bool canonical =
+                          dv.has_value()
+                              ? IsCanonicalPivot(*dv, ngd.pattern(), match,
+                                                 index, u.kind,
+                                                 task.update_index,
+                                                 task.pattern_edge)
+                              : IsCanonicalPivot(g, ngd.pattern(), match,
+                                                 index, u.kind,
+                                                 task.update_index,
+                                                 task.pattern_edge);
+                      if (canonical) {
                         target.Add(Violation{task.ngd_index, match});
                       }
                       return true;

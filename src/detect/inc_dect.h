@@ -29,7 +29,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "detect/dect.h"
 #include "detect/violation.h"
+#include "graph/delta_view.h"
+#include "graph/neighborhood.h"
 #include "graph/updates.h"
 #include "match/homomorphism.h"
 
@@ -78,6 +81,34 @@ class PivotEdgeFilter : public EdgeFilter {
   int pivot_index_;
 };
 
+/// PivotEdgeFilter for the DeltaView backend. Duplicate suppression only
+/// has to rank *update* edges, and the DeltaView knows structurally which
+/// edges those are: anything outside its delta spans is a base edge and
+/// is admitted with one CSR span check — no hash probe. Only genuine
+/// delta entries (a |ΔG|-sized minority of everything a search touches)
+/// fall through to the UpdateIndex lookup.
+class DeltaViewPivotEdgeFilter : public EdgeFilter {
+ public:
+  DeltaViewPivotEdgeFilter(const DeltaView* dv, const UpdateIndex* index,
+                           UpdateKind kind, int pivot_index)
+      : dv_(dv), index_(index), kind_(kind), pivot_index_(pivot_index) {}
+
+  bool Admit(int /*pattern_edge*/, NodeId src, NodeId dst,
+             LabelId label) const override {
+    if (!dv_->IsDeltaEdge(kind_ == UpdateKind::kInsert, src, dst, label)) {
+      return true;
+    }
+    auto i = index_->IndexOf(kind_, EdgeKey{src, dst, label});
+    return !i.has_value() || *i >= pivot_index_;
+  }
+
+ private:
+  const DeltaView* dv_;
+  const UpdateIndex* index_;
+  UpdateKind kind_;
+  int pivot_index_;
+};
+
 /// One unit of update-driven work: expand pivot hup(u,u') = (v,v') where
 /// pattern edge `pattern_edge` of NGD `ngd_index` matches effective update
 /// `update_index`.
@@ -99,16 +130,97 @@ bool IsCanonicalPivot(const Graph& g, const Pattern& pattern,
                       const Binding& binding, const UpdateIndex& index,
                       UpdateKind kind, int update_index, int pattern_edge);
 
+/// DeltaView-backed canonicality: ranking only ever concerns *update*
+/// edges, so pattern edges whose bound graph edge is not a delta entry
+/// are skipped with one CSR span check; only the (typically one) real
+/// update edge of the match pays an UpdateIndex hash lookup. This is the
+/// emission hot path — every violating match of every pivot runs it —
+/// and the structural skip is a key part of the DeltaView speedup.
+bool IsCanonicalPivot(const DeltaView& dv, const Pattern& pattern,
+                      const Binding& binding, const UpdateIndex& index,
+                      UpdateKind kind, int update_index, int pattern_edge);
+
 /// Incremental detection requires every pattern to be connected with at
 /// least one edge (edge updates cannot pivot edge-less patterns; the
 /// paper's §6 preliminaries make the same connectivity assumption).
 Status ValidateForIncremental(const NgdSet& sigma);
 
+/// Affected-area prefilter (the localizability of paper §6.1 made
+/// actionable before any pivot spawns): per rule Q, the d_Q-ball around
+/// ΔG's endpoints — over the union of both views, so it bounds ΔVio+ and
+/// ΔVio- searches alike — intersected with the label→nodes candidate
+/// arrays. A rule whose ball lacks a candidate for some non-wildcard
+/// pattern-node label cannot complete any match, so all its pivot tasks
+/// are skipped; rules that survive get their ball as the search's node
+/// scope. Balls are shared across rules of equal diameter.
+///
+/// The prefilter must never cost more than the localized searches it
+/// guards, so ball extraction is budgeted: once a ball's BFS has visited
+/// max(256, |V|/8) nodes it is abandoned as "unbounded" — ΔG saturates
+/// the graph at that diameter, nothing would be pruned anyway — and the
+/// affected rules run unscoped, exactly as with the prefilter off. Large
+/// batches therefore pay O(budget) for the prefilter, small batches on
+/// large graphs (the production regime) get real pruning.
+class AffectedArea {
+ public:
+  AffectedArea(const Graph& g, const NgdSet& sigma, const UpdateIndex& index);
+
+  /// d_Q-ball for rule `ngd_index` as a search scope, or nullptr when the
+  /// ball exceeded the budget (valid while this object lives).
+  const NodeSet* ScopeOf(int ngd_index) const {
+    const int b = ball_of_rule_[ngd_index];
+    return bounded_[b] ? &balls_[b] : nullptr;
+  }
+  /// False when some non-wildcard pattern-node label of the rule has no
+  /// candidate inside its (bounded) ball.
+  bool RuleCanMatch(int ngd_index) const { return rule_can_match_[ngd_index]; }
+
+ private:
+  std::vector<NodeSet> balls_;   // one per distinct pattern diameter
+  std::vector<bool> bounded_;    // per ball: finished within budget
+  std::vector<int> ball_of_rule_;
+  std::vector<bool> rule_can_match_;
+};
+
+struct IncDectOptions {
+  /// Mirrors DectOptions::snapshot_mode for the incremental path:
+  ///   kNever  — match the live overlay graph (the pre-DeltaView engine,
+  ///             kept as the equivalence oracle and benchmark baseline);
+  ///   kAlways — match a DeltaView (base CSR snapshot ⊕ ΔG);
+  ///   kAuto   — use the DeltaView when `base_snapshot` is provided (the
+  ///             build is already paid), else when the cost model
+  ///             (WantDeltaView) expects the pivot searches to amortize
+  ///             an owned base-snapshot build.
+  SnapshotMode snapshot_mode = SnapshotMode::kAuto;
+  /// Optional pre-built snapshot of the base graph G — GraphView::kOld of
+  /// `g`, or a snapshot taken before the batch was applied. Production
+  /// keeps one per commit epoch and reuses it across batches, so the
+  /// incremental path never rebuilds CSR state per call.
+  const GraphSnapshot* base_snapshot = nullptr;
+  /// Enable the AffectedArea prefilter + per-rule search scope. Off
+  /// reproduces the pre-prefilter engine exactly (the oracle config).
+  bool affected_area_prefilter = true;
+};
+
+/// The kAuto cost model: true when the depth-1 frontier the pivot tasks
+/// would stream (a lower bound on the live engine's scan volume) already
+/// exceeds a small multiple of what the O(|V| + |E|) base-snapshot build
+/// streams.
+bool WantDeltaView(const Graph& g, const UpdateIndex& index,
+                   const std::vector<PivotTask>& tasks);
+
+/// Resolves IncDectOptions to a concrete use-the-DeltaView decision.
+/// Shared by IncDect and PIncDect so both engines make the same choice.
+bool ResolveDeltaView(const Graph& g, const UpdateIndex& index,
+                      const std::vector<PivotTask>& tasks, SnapshotMode mode,
+                      bool base_snapshot_provided);
+
 /// Computes ΔVio(Σ, G, ΔG). `g` must carry ΔG as its pending overlay
 /// (apply via ApplyUpdateBatch before calling; Commit afterwards).
 /// Requires every pattern in Σ to be connected with ≥ 1 edge.
 StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
-                           const UpdateBatch& batch);
+                           const UpdateBatch& batch,
+                           const IncDectOptions& opts = {});
 
 }  // namespace ngd
 

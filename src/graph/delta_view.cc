@@ -1,0 +1,63 @@
+#include "graph/delta_view.h"
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+namespace ngd {
+
+void DeltaView::BuildSide(std::vector<std::pair<NodeId, DeltaEntry>>* flat,
+                          size_t num_nodes, Side* side) {
+  // (node, label, other) sort + unique: duplicate records in the batch
+  // collapse to one entry, matching UpdateIndex's duplicate suppression.
+  std::sort(flat->begin(), flat->end());
+  flat->erase(std::unique(flat->begin(), flat->end()), flat->end());
+
+  side->off.assign(num_nodes + 1, 0);
+  side->entries.reserve(flat->size());
+  for (const auto& [node, entry] : *flat) {
+    side->entries.push_back(entry);
+    ++side->off[node + 1];
+  }
+  for (size_t v = 0; v < num_nodes; ++v) side->off[v + 1] += side->off[v];
+}
+
+DeltaView::DeltaView(const GraphSnapshot& base, const Graph& g,
+                     const UpdateBatch& batch)
+    : base_(&base),
+      g_(&g),
+      base_nodes_(base.NumNodes()),
+      num_nodes_(g.NumNodes()) {
+  assert(base_nodes_ <= num_nodes_ &&
+         "base snapshot is newer than the live graph");
+
+  std::vector<std::pair<NodeId, DeltaEntry>> out_ins, out_del, in_ins, in_del;
+  for (const UnitUpdate& u : batch.updates) {
+    if (u.src >= num_nodes_ || u.dst >= num_nodes_) continue;
+    // Only updates whose effect survives in the overlay count; anything
+    // else (delete+reinsert of one edge, delete of a pending insertion)
+    // cancelled out within the batch. Mirrors UpdateIndex.
+    std::optional<EdgeState> state = g.EdgeStateOf(u.src, u.dst, u.label);
+    if (!state.has_value()) continue;
+    const bool is_insert = u.kind == UpdateKind::kInsert;
+    if (is_insert && *state != EdgeState::kInserted) continue;
+    if (!is_insert && *state != EdgeState::kDeleted) continue;
+    auto& out_side = is_insert ? out_ins : out_del;
+    auto& in_side = is_insert ? in_ins : in_del;
+    out_side.push_back({u.src, DeltaEntry{u.label, u.dst}});
+    in_side.push_back({u.dst, DeltaEntry{u.label, u.src}});
+  }
+
+  BuildSide(&out_ins, num_nodes_, &out_ins_);
+  BuildSide(&out_del, num_nodes_, &out_del_);
+  BuildSide(&in_ins, num_nodes_, &in_ins_);
+  BuildSide(&in_del, num_nodes_, &in_del_);
+
+  touched_.assign(num_nodes_, 0);
+  for (const auto& [node, entry] : out_ins) touched_[node] |= kTouchedOutIns;
+  for (const auto& [node, entry] : out_del) touched_[node] |= kTouchedOutDel;
+  for (const auto& [node, entry] : in_ins) touched_[node] |= kTouchedInIns;
+  for (const auto& [node, entry] : in_del) touched_[node] |= kTouchedInDel;
+}
+
+}  // namespace ngd

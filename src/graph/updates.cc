@@ -14,10 +14,12 @@ size_t UpdateBatch::NumDeletions() const {
   return updates.size() - NumInsertions();
 }
 
-Status ApplyUpdateBatch(Graph* g, UpdateBatch* batch) {
+Status ApplyUpdateBatch(Graph* g, UpdateBatch* batch,
+                        size_t* failed_record) {
   std::vector<UnitUpdate> effective;
   effective.reserve(batch->updates.size());
-  for (const auto& u : batch->updates) {
+  for (size_t i = 0; i < batch->updates.size(); ++i) {
+    const UnitUpdate& u = batch->updates[i];
     Status s = u.kind == UpdateKind::kInsert
                    ? g->InsertEdge(u.src, u.dst, u.label)
                    : g->DeleteEdge(u.src, u.dst, u.label);
@@ -25,6 +27,10 @@ Status ApplyUpdateBatch(Graph* g, UpdateBatch* batch) {
       effective.push_back(u);
     } else if (s.code() != StatusCode::kAlreadyExists &&
                s.code() != StatusCode::kNotFound) {
+      // Real failure: keep the documented invariant "batch == overlay" by
+      // truncating to the effective prefix before reporting the error.
+      if (failed_record != nullptr) *failed_record = i;
+      batch->updates = std::move(effective);
       return s;
     }
     // kAlreadyExists / kNotFound: the unit update is a no-op; drop it.

@@ -36,10 +36,19 @@ struct UpdateBatch {
 };
 
 /// Applies the batch as a pending overlay on `g` (InsertEdge/DeleteEdge).
-/// Returns the first error; earlier updates stay applied. Updates that
-/// became no-ops (insert of an existing edge, delete of a missing edge)
-/// are removed from the batch so detection sees only effective updates.
-Status ApplyUpdateBatch(Graph* g, UpdateBatch* batch);
+/// Updates that became no-ops (insert of an existing edge, delete of a
+/// missing edge) are removed from the batch so detection sees only
+/// effective updates.
+///
+/// Partial-failure contract: on the first real error, application stops
+/// and the error is returned; the records applied before it stay applied,
+/// and `batch->updates` is truncated to exactly that effective prefix —
+/// so the batch always describes the overlay actually on `g`, and the
+/// caller can either run detection on the prefix or `g->Rollback()`.
+/// `failed_record` (optional) receives the index of the offending record
+/// in the original batch (unchanged on success).
+Status ApplyUpdateBatch(Graph* g, UpdateBatch* batch,
+                        size_t* failed_record = nullptr);
 
 struct UpdateGenOptions {
   /// |ΔG| as a fraction of the current |E|.

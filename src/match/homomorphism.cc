@@ -16,13 +16,6 @@ struct LiteralState {
 
 enum class StepOutcome : uint8_t { kContinue, kPrune, kStop };
 
-/// Literal evaluation against whichever backend the accessor wraps.
-Truth EvalLiteral(const GraphAccessor& g, const Literal& lit,
-                  const Binding& binding) {
-  return g.is_snapshot() ? lit.Evaluate(*g.snapshot(), binding)
-                         : lit.Evaluate(*g.live_graph(), binding);
-}
-
 /// Evaluates the literals that became ready; decides pruning.
 StepOutcome EvalReadyLiterals(const SearchConfig& cfg, const GraphAccessor& g,
                               const std::vector<int>& ready_x,
@@ -167,7 +160,8 @@ bool SeededSearchImpl(const SearchConfig& config, const GraphAccessor& g,
 
 bool RunSeededSearch(const SearchConfig& config, const MatchPlan& plan,
                      Binding* binding, const MatchCallback& callback) {
-  assert((config.graph != nullptr || config.snapshot != nullptr) &&
+  assert((config.graph != nullptr || config.snapshot != nullptr ||
+          config.delta_view != nullptr) &&
          config.pattern != nullptr);
   assert(!config.find_violations ||
          (config.x != nullptr && config.y != nullptr));
@@ -178,7 +172,8 @@ bool RunSeededSearch(const SearchConfig& config, const MatchPlan& plan,
 bool RunBatchSearchWithPlan(const SearchConfig& config, int start,
                             const MatchPlan& plan,
                             const MatchCallback& callback) {
-  assert((config.graph != nullptr || config.snapshot != nullptr) &&
+  assert((config.graph != nullptr || config.snapshot != nullptr ||
+          config.delta_view != nullptr) &&
          config.pattern != nullptr);
   assert(plan.seeds.size() == 1 && plan.seeds[0] == start);
   const GraphAccessor g = config.MakeAccessor();
@@ -193,7 +188,8 @@ bool RunBatchSearchWithPlan(const SearchConfig& config, int start,
 
 bool RunBatchSearch(const SearchConfig& config,
                     const MatchCallback& callback) {
-  assert((config.graph != nullptr || config.snapshot != nullptr) &&
+  assert((config.graph != nullptr || config.snapshot != nullptr ||
+          config.delta_view != nullptr) &&
          config.pattern != nullptr);
   const Pattern& pattern = *config.pattern;
   const int start = ChooseStartNode(pattern, config.MakeAccessor());

@@ -45,16 +45,18 @@ class EdgeFilter {
 using MatchCallback = std::function<bool(const Binding&)>;
 
 struct SearchConfig {
-  /// At least one of `graph` / `snapshot` must be set. `snapshot` wins
-  /// when both are: batch detection matches against the CSR snapshot's
-  /// label-partitioned adjacency; incremental detection passes the live
-  /// overlay graph plus `view`.
+  /// At least one of `graph` / `snapshot` / `delta_view` must be set;
+  /// precedence is snapshot > delta_view > graph. Batch detection matches
+  /// against the CSR snapshot's label-partitioned adjacency; incremental
+  /// detection passes either the live overlay graph plus `view`, or a
+  /// DeltaView (base snapshot ⊕ ΔG) plus `view`.
   const Graph* graph = nullptr;
   const GraphSnapshot* snapshot = nullptr;
+  const DeltaView* delta_view = nullptr;
   const Pattern* pattern = nullptr;
   const std::vector<Literal>* x = nullptr;
   const std::vector<Literal>* y = nullptr;
-  GraphView view = GraphView::kNew;  ///< live-graph searches only
+  GraphView view = GraphView::kNew;  ///< live-graph / delta-view searches
   const EdgeFilter* edge_filter = nullptr;   ///< optional
   const NodeSet* node_scope = nullptr;       ///< optional candidate scope
   /// true: emit only violations (X true, Y violated), with literal
@@ -63,10 +65,19 @@ struct SearchConfig {
 
   /// The accessor the engine actually matches against.
   GraphAccessor MakeAccessor() const {
-    return snapshot != nullptr ? GraphAccessor(*snapshot)
-                               : GraphAccessor(*graph, view);
+    if (snapshot != nullptr) return GraphAccessor(*snapshot);
+    if (delta_view != nullptr) return GraphAccessor(*delta_view, view);
+    return GraphAccessor(*graph, view);
   }
 };
+
+/// Literal evaluation against whichever backend the accessor wraps.
+inline Truth EvalLiteral(const GraphAccessor& g, const Literal& lit,
+                         const Binding& binding) {
+  if (g.is_snapshot()) return lit.Evaluate(*g.snapshot(), binding);
+  if (g.is_delta_view()) return lit.Evaluate(*g.delta_view(), binding);
+  return lit.Evaluate(*g.live_graph(), binding);
+}
 
 /// Runs the plan from pre-seeded `binding` (plan.seeds already bound).
 /// Verifies seed edges/literals first. Returns false iff a callback

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
@@ -18,6 +19,7 @@ class PIncDectEngine {
                  const UpdateBatch& batch, const PIncDectOptions& opts)
       : g_(g),
         sigma_(sigma),
+        batch_(batch),
         opts_(opts),
         p_(std::max(1, opts.num_processors)),
         index_(g, batch),
@@ -30,8 +32,37 @@ class PIncDectEngine {
     NGD_RETURN_IF_ERROR(ValidateForIncremental(sigma_));
     WallTimer timer;
 
-    // Step 1: pivots.
+    // Step 1: pivots, prefiltered by the per-rule affected area (rules
+    // whose d_Q-ball cannot supply every pattern-node label spawn no
+    // work units at all).
     std::vector<PivotTask> tasks = EnumeratePivotTasks(g_, sigma_, index_);
+    std::optional<AffectedArea> area;
+    if (opts_.affected_area_prefilter) {
+      area.emplace(g_, sigma_, index_);
+      tasks.erase(std::remove_if(tasks.begin(), tasks.end(),
+                                 [&](const PivotTask& t) {
+                                   return !area->RuleCanMatch(t.ngd_index);
+                                 }),
+                  tasks.end());
+    }
+
+    // Backend: the same resolution as IncDect. The base snapshot (and
+    // the DeltaView over it) is immutable, so all p processors share it
+    // read-only — it counts as replicated state, like N_C below.
+    if (ResolveDeltaView(g_, index_, tasks, opts_.snapshot_mode,
+                         opts_.base_snapshot != nullptr)) {
+      const GraphSnapshot* base = opts_.base_snapshot;
+      if (base == nullptr) {
+        owned_base_.emplace(g_, GraphView::kOld);
+        base = &*owned_base_;
+      }
+      dv_.emplace(*base, g_, batch_);
+      acc_old_ = GraphAccessor(*dv_, GraphView::kOld);
+      acc_new_ = GraphAccessor(*dv_, GraphView::kNew);
+    } else {
+      acc_old_ = GraphAccessor(g_, GraphView::kOld);
+      acc_new_ = GraphAccessor(g_, GraphView::kNew);
+    }
 
     // Step 2: candidate neighborhood N_C(ΔG, Σ) = union of d_Σ-balls
     // around update endpoints, over the union of both views (safe for
@@ -113,6 +144,10 @@ class PIncDectEngine {
            static_cast<uint32_t>(pattern_edge);
   }
 
+  const GraphAccessor& AccessorFor(GraphView view) const {
+    return view == GraphView::kNew ? acc_new_ : acc_old_;
+  }
+
   void WorkerLoop(int worker) {
     while (true) {
       PWorkUnit unit;
@@ -179,7 +214,14 @@ class PIncDectEngine {
     const EffectiveUpdate& u = index_.updates()[unit.update_index];
     const GraphView view =
         u.kind == UpdateKind::kInsert ? GraphView::kNew : GraphView::kOld;
-    PivotEdgeFilter filter(&index_, u.kind, unit.update_index);
+    // The DeltaView backend gets the span-check filter (base edges admit
+    // without a hash probe); the live backend keeps the classic one.
+    PivotEdgeFilter live_filter(&index_, u.kind, unit.update_index);
+    DeltaViewPivotEdgeFilter dv_filter(dv_.has_value() ? &*dv_ : nullptr,
+                                       &index_, u.kind, unit.update_index);
+    const EdgeFilter& filter =
+        dv_.has_value() ? static_cast<const EdgeFilter&>(dv_filter)
+                        : static_cast<const EdgeFilter&>(live_filter);
 
     // Seed validation for fresh pivot units (split/child units have
     // already passed it).
@@ -191,28 +233,29 @@ class PIncDectEngine {
 
   bool ValidateSeeds(const MatchPlan& plan, const Pattern& pattern,
                      PWorkUnit& unit, GraphView view,
-                     const PivotEdgeFilter& filter) {
+                     const EdgeFilter& filter) {
+    const GraphAccessor& acc = AccessorFor(view);
     for (int s : plan.seeds) {
       const NodeId v = unit.binding[s];
-      if (!NodeMatchesLabel(g_, v, pattern.node(s).label)) return false;
+      if (!acc.NodeMatchesLabel(v, pattern.node(s).label)) return false;
       if (!nc_.Contains(v)) return false;
     }
     for (int ce : plan.seed_check_edges) {
       const PatternEdge& pe = pattern.edge(ce);
       const NodeId s = unit.binding[pe.src];
       const NodeId d = unit.binding[pe.dst];
-      if (!g_.HasEdge(s, d, pe.label, view)) return false;
+      if (!acc.HasEdge(s, d, pe.label)) return false;
       if (!filter.Admit(ce, s, d, pe.label)) return false;
     }
     const Ngd& ngd = sigma_[unit.ngd_index];
     for (int i : plan.seed_ready_x) {
-      if (ngd.X()[i].Evaluate(g_, unit.binding) == Truth::kFalse) {
+      if (EvalLiteral(acc, ngd.X()[i], unit.binding) == Truth::kFalse) {
         return false;
       }
     }
     for (int i : plan.seed_ready_y) {
       ++unit.y_ready;
-      if (ngd.Y()[i].Evaluate(g_, unit.binding) == Truth::kFalse) {
+      if (EvalLiteral(acc, ngd.Y()[i], unit.binding) == Truth::kFalse) {
         unit.y_false = true;
       }
     }
@@ -222,110 +265,119 @@ class PIncDectEngine {
 
   void ExpandUnit(int worker, PWorkUnit& unit, const MatchPlan& plan,
                   const Pattern& pattern, const Ngd& ngd, UpdateKind kind,
-                  GraphView view, const PivotEdgeFilter& filter) {
+                  GraphView view, const EdgeFilter& filter) {
     if (static_cast<size_t>(unit.depth) == plan.steps.size()) {
       EmitIfCanonical(worker, unit, pattern, kind);
       return;
     }
+    const GraphAccessor& acc = AccessorFor(view);
     const ExpansionStep& step = plan.steps[unit.depth];
     const PatternEdge& anchor_edge = pattern.edge(step.anchor_edge);
     const NodeId anchor = unit.binding[step.anchor_node];
-    const auto& adj =
-        step.anchor_out ? g_.OutEdges(anchor) : g_.InEdges(anchor);
+    // The logical adjacency list being partitioned: the raw overlay
+    // adjacency on the live backend, the base label range plus delta
+    // entries on the DeltaView (see GraphAccessor::NeighborSeqLen).
+    const size_t seq_len =
+        acc.NeighborSeqLen(anchor, step.anchor_out, anchor_edge.label);
 
     size_t begin = 0;
-    size_t end = adj.size();
+    size_t end = seq_len;
     if (unit.slice_begin >= 0) {
       begin = static_cast<size_t>(unit.slice_begin);
-      end = std::min(static_cast<size_t>(unit.slice_end), adj.size());
+      end = std::min(static_cast<size_t>(unit.slice_end), seq_len);
     } else if (opts_.enable_split && p_ > 1 &&
-               adj.size() >= opts_.min_split_adjacency) {
+               seq_len >= opts_.min_split_adjacency) {
       // Hybrid cost model: sequential |adj| vs C·(k+1) + |adj|/p, where k
       // is the number of already-matched pattern nodes.
       const double k = static_cast<double>(plan.seeds.size() + unit.depth);
-      const double seq_cost = static_cast<double>(adj.size());
+      const double seq_cost = static_cast<double>(seq_len);
       const double par_cost =
           opts_.latency_c * (k + 1.0) +
-          static_cast<double>(adj.size()) / static_cast<double>(p_);
+          static_cast<double>(seq_len) / static_cast<double>(p_);
       if (par_cost < seq_cost) {
-        SplitUnit(unit, adj.size());
+        SplitUnit(unit, seq_len);
         return;
       }
     }
 
     const LabelId want_label = pattern.node(step.node).label;
-    for (size_t idx = begin; idx < end; ++idx) {
-      const AdjEntry& e = adj[idx];
-      if (e.label != anchor_edge.label) continue;
-      if (!EdgeInView(e.state, view)) continue;
-      const NodeId cand = e.other;
-      if (!NodeMatchesLabel(g_, cand, want_label)) continue;
-      if (!nc_.Contains(cand)) continue;
-      {
-        const NodeId src = step.anchor_out ? anchor : cand;
-        const NodeId dst = step.anchor_out ? cand : anchor;
-        if (!filter.Admit(step.anchor_edge, src, dst, e.label)) continue;
-      }
-      bool ok = true;
-      for (int ce : step.check_edges) {
-        const PatternEdge& pe = pattern.edge(ce);
-        const NodeId s = pe.src == step.node ? cand : unit.binding[pe.src];
-        const NodeId d = pe.dst == step.node ? cand : unit.binding[pe.dst];
-        if (!g_.HasEdge(s, d, pe.label, view) ||
-            !filter.Admit(ce, s, d, pe.label)) {
-          ok = false;
-          break;
-        }
-      }
-      if (!ok) continue;
-
-      PWorkUnit child;
-      child.ngd_index = unit.ngd_index;
-      child.pattern_edge = unit.pattern_edge;
-      child.update_index = unit.update_index;
-      child.depth = unit.depth + 1;
-      child.y_false = unit.y_false;
-      child.y_ready = unit.y_ready;
-      child.binding = unit.binding;
-      child.binding[step.node] = cand;
-
-      bool prune = false;
-      for (int i : step.ready_x) {
-        if (ngd.X()[i].Evaluate(g_, child.binding) == Truth::kFalse) {
-          prune = true;
-          break;
-        }
-      }
-      if (!prune) {
-        for (int i : step.ready_y) {
-          ++child.y_ready;
-          if (ngd.Y()[i].Evaluate(g_, child.binding) == Truth::kFalse) {
-            child.y_false = true;
+    acc.ForEachNeighborSlice(
+        anchor, step.anchor_out, anchor_edge.label, begin, end,
+        [&](NodeId cand) {
+          if (!acc.NodeMatchesLabel(cand, want_label)) return true;
+          if (!nc_.Contains(cand)) return true;
+          {
+            const NodeId src = step.anchor_out ? anchor : cand;
+            const NodeId dst = step.anchor_out ? cand : anchor;
+            if (!filter.Admit(step.anchor_edge, src, dst,
+                              anchor_edge.label)) {
+              return true;
+            }
           }
-        }
-        if (!child.y_false && child.y_ready == ngd.Y().size()) prune = true;
-      }
-      if (prune) continue;
+          for (int ce : step.check_edges) {
+            const PatternEdge& pe = pattern.edge(ce);
+            const NodeId s =
+                pe.src == step.node ? cand : unit.binding[pe.src];
+            const NodeId d =
+                pe.dst == step.node ? cand : unit.binding[pe.dst];
+            if (!acc.HasEdge(s, d, pe.label) ||
+                !filter.Admit(ce, s, d, pe.label)) {
+              return true;
+            }
+          }
 
-      if (static_cast<size_t>(child.depth) == plan.steps.size()) {
-        EmitIfCanonical(worker, child, pattern, kind);
-      } else {
-        in_flight_.fetch_add(1, std::memory_order_relaxed);
-        queues_[worker].Push(std::move(child));
-      }
-    }
+          PWorkUnit child;
+          child.ngd_index = unit.ngd_index;
+          child.pattern_edge = unit.pattern_edge;
+          child.update_index = unit.update_index;
+          child.depth = unit.depth + 1;
+          child.y_false = unit.y_false;
+          child.y_ready = unit.y_ready;
+          child.binding = unit.binding;
+          child.binding[step.node] = cand;
+
+          bool prune = false;
+          for (int i : step.ready_x) {
+            if (EvalLiteral(acc, ngd.X()[i], child.binding) ==
+                Truth::kFalse) {
+              prune = true;
+              break;
+            }
+          }
+          if (!prune) {
+            for (int i : step.ready_y) {
+              ++child.y_ready;
+              if (EvalLiteral(acc, ngd.Y()[i], child.binding) ==
+                  Truth::kFalse) {
+                child.y_false = true;
+              }
+            }
+            if (!child.y_false && child.y_ready == ngd.Y().size()) {
+              prune = true;
+            }
+          }
+          if (prune) return true;
+
+          if (static_cast<size_t>(child.depth) == plan.steps.size()) {
+            EmitIfCanonical(worker, child, pattern, kind);
+          } else {
+            in_flight_.fetch_add(1, std::memory_order_relaxed);
+            queues_[worker].Push(std::move(child));
+          }
+          return true;
+        });
   }
 
-  void SplitUnit(const PWorkUnit& unit, size_t adj_size) {
+  void SplitUnit(const PWorkUnit& unit, size_t seq_len) {
     metrics_.splits.fetch_add(1, std::memory_order_relaxed);
     metrics_.messages.fetch_add(p_, std::memory_order_relaxed);
-    const size_t chunk = (adj_size + p_ - 1) / p_;
+    const size_t chunk = (seq_len + p_ - 1) / p_;
     for (int i = 0; i < p_; ++i) {
       const size_t b = static_cast<size_t>(i) * chunk;
-      if (b >= adj_size) break;
+      if (b >= seq_len) break;
       PWorkUnit slice = unit;
       slice.slice_begin = static_cast<int32_t>(b);
-      slice.slice_end = static_cast<int32_t>(std::min(b + chunk, adj_size));
+      slice.slice_end = static_cast<int32_t>(std::min(b + chunk, seq_len));
       in_flight_.fetch_add(1, std::memory_order_relaxed);
       queues_[i].Push(std::move(slice));
     }
@@ -335,8 +387,13 @@ class PIncDectEngine {
   /// binding is moved — not copied — into the Violation.
   void EmitIfCanonical(int worker, PWorkUnit& unit, const Pattern& pattern,
                        UpdateKind kind) {
-    if (!IsCanonicalPivot(g_, pattern, unit.binding, index_, kind,
-                          unit.update_index, unit.pattern_edge)) {
+    const bool canonical =
+        dv_.has_value()
+            ? IsCanonicalPivot(*dv_, pattern, unit.binding, index_, kind,
+                               unit.update_index, unit.pattern_edge)
+            : IsCanonicalPivot(g_, pattern, unit.binding, index_, kind,
+                               unit.update_index, unit.pattern_edge);
+    if (!canonical) {
       return;
     }
     Violation v{unit.ngd_index, std::move(unit.binding)};
@@ -349,9 +406,14 @@ class PIncDectEngine {
 
   const Graph& g_;
   const NgdSet& sigma_;
+  const UpdateBatch& batch_;
   const PIncDectOptions opts_;
   const int p_;
   UpdateIndex index_;
+  std::optional<GraphSnapshot> owned_base_;
+  std::optional<DeltaView> dv_;
+  GraphAccessor acc_old_;
+  GraphAccessor acc_new_;
   NodeSet nc_;
   std::unordered_map<int64_t, MatchPlan> plans_;
   std::vector<WorkQueue<PWorkUnit>> queues_;

@@ -35,6 +35,17 @@ namespace ngd {
 
 struct PIncDectOptions {
   int num_processors = 4;
+  /// Backend selection, exactly as IncDectOptions: kNever = live overlay
+  /// graph (the oracle/baseline), kAlways = DeltaView over the base
+  /// snapshot, kAuto = cost model (or an already-provided base_snapshot).
+  SnapshotMode snapshot_mode = SnapshotMode::kAuto;
+  /// Optional pre-built snapshot of the base graph G (GraphView::kOld),
+  /// shared read-only by all simulated processors and reused across
+  /// batches by callers that maintain one per commit epoch.
+  const GraphSnapshot* base_snapshot = nullptr;
+  /// AffectedArea prefilter: skip every pivot task of a rule whose
+  /// d_Q-ball around ΔG lacks candidates for some pattern-node label.
+  bool affected_area_prefilter = true;
   /// Communication-latency constant C of the cost model (paper fixes 60).
   double latency_c = 60.0;
   /// Balancer wake-up interval in milliseconds (paper: 45 s at cluster

@@ -237,6 +237,121 @@ TEST_F(IncDectTest, Example6NatWestScenario) {
   EXPECT_TRUE(Dect(*g.graph, rules).empty());
 }
 
+// ---- UpdateIndex duplicate-suppression edge cases -----------------------
+//
+// Each scenario runs under both backends (live overlay and DeltaView) and
+// asserts the exact ΔVio contents — the observable form of exactly-once
+// emission — plus, where the scenario is about pivot canonicality, the
+// IsCanonicalPivot tie-break directly.
+
+class IncDectEdgeCaseTest : public IncDectTest {
+ protected:
+  /// Runs IncDect under the given backend; fails the test on error.
+  DeltaVio Delta(const NgdSet& rules, const UpdateBatch& batch,
+                 SnapshotMode mode,
+                 const GraphSnapshot* base = nullptr) {
+    IncDectOptions opts;
+    opts.snapshot_mode = mode;
+    opts.base_snapshot = base;
+    auto delta = IncDect(g_, rules, batch, opts);
+    EXPECT_TRUE(delta.ok()) << delta.status().ToString();
+    return delta.ok() ? *std::move(delta) : DeltaVio{};
+  }
+};
+
+TEST_F(IncDectEdgeCaseTest, DeleteThenReinsertSuppressedExactlyOnce) {
+  // a->b violates; the batch deletes and reinserts it (net no-op on that
+  // edge) while inserting a genuinely new violating edge c->d. The
+  // cancelled pair must spawn no pivot at all: ΔVio+ = {(c,d)} exactly,
+  // ΔVio- empty — the (a,b) violation neither "removes" nor "re-adds".
+  NodeId a = AddValueNode(10), b = AddValueNode(5);
+  NodeId c = AddValueNode(9), d = AddValueNode(3);
+  ASSERT_TRUE(g_.AddEdge(a, b, e_).ok());
+  UpdateBatch batch;
+  batch.updates.push_back({UpdateKind::kDelete, a, b, e_});
+  batch.updates.push_back({UpdateKind::kInsert, a, b, e_});  // reinsert
+  batch.updates.push_back({UpdateKind::kInsert, c, d, e_});
+  ASSERT_TRUE(ApplyUpdateBatch(&g_, &batch).ok());
+
+  UpdateIndex index(g_, batch);
+  ASSERT_EQ(index.updates().size(), 1u)
+      << "delete+reinsert must cancel out of the pivot order";
+  EXPECT_FALSE(
+      index.IndexOf(UpdateKind::kDelete, EdgeKey{a, b, e_}).has_value());
+  EXPECT_FALSE(
+      index.IndexOf(UpdateKind::kInsert, EdgeKey{a, b, e_}).has_value());
+
+  for (SnapshotMode mode : {SnapshotMode::kNever, SnapshotMode::kAlways}) {
+    DeltaVio delta = Delta(rules_, batch, mode);
+    EXPECT_EQ(delta.added.size(), 1u);
+    EXPECT_TRUE(delta.added.Contains(Violation{0, {c, d}}));
+    EXPECT_TRUE(delta.removed.empty());
+  }
+}
+
+TEST_F(IncDectEdgeCaseTest, UpdateEdgeMatchedByTwoPatternEdgesOfOneRule) {
+  // Pattern (x)-[e]->(y), (x)-[e]->(z): both pattern edges carry the same
+  // label, so one inserted edge a->b forms a pivot with each of them, and
+  // the folded match h = (a, b, b) maps BOTH pattern edges onto that one
+  // update edge. The lexicographic (update, pattern-edge) minimum must
+  // make exactly one pivot canonical for it.
+  NgdSet rules = MustParse(
+      "ngd two { match (x:n)-[e]->(y:n), (x)-[e]->(z:n) then y.v < z.v }",
+      schema_);
+  NodeId a = AddValueNode(1), b = AddValueNode(5), c = AddValueNode(5);
+  ASSERT_TRUE(g_.AddEdge(a, c, e_).ok());
+  UpdateBatch batch;
+  batch.updates.push_back({UpdateKind::kInsert, a, b, e_});
+  ASSERT_TRUE(ApplyUpdateBatch(&g_, &batch).ok());
+
+  UpdateIndex index(g_, batch);
+  std::vector<PivotTask> tasks = EnumeratePivotTasks(g_, rules, index);
+  ASSERT_EQ(tasks.size(), 2u) << "one pivot per label-compatible edge";
+
+  // The folded match binds y = z = b; pattern edge 0 wins the tie-break.
+  Binding folded{a, b, b};
+  EXPECT_TRUE(IsCanonicalPivot(g_, rules[0].pattern(), folded, index,
+                               UpdateKind::kInsert, /*update_index=*/0,
+                               /*pattern_edge=*/0));
+  EXPECT_FALSE(IsCanonicalPivot(g_, rules[0].pattern(), folded, index,
+                                UpdateKind::kInsert, /*update_index=*/0,
+                                /*pattern_edge=*/1));
+
+  // Violations in G ⊕ ΔG using the inserted edge (y.v < z.v must fail):
+  //   (a,b,b) 5<5, (a,b,c) 5<5, (a,c,b) 5<5 — and not the pre-existing
+  //   (a,c,c). Each exactly once, on both backends.
+  for (SnapshotMode mode : {SnapshotMode::kNever, SnapshotMode::kAlways}) {
+    DeltaVio delta = Delta(rules, batch, mode);
+    EXPECT_EQ(delta.added.size(), 3u);
+    EXPECT_TRUE(delta.added.Contains(Violation{0, {a, b, b}}));
+    EXPECT_TRUE(delta.added.Contains(Violation{0, {a, b, c}}));
+    EXPECT_TRUE(delta.added.Contains(Violation{0, {a, c, b}}));
+    EXPECT_TRUE(delta.removed.empty());
+  }
+}
+
+TEST_F(IncDectEdgeCaseTest, InsertionsOntoBrandNewNodeSeedPivot) {
+  // The base snapshot predates the batch, whose insertions attach a node
+  // the snapshot has never seen — the pivot seeds at an id beyond
+  // base.NumNodes(), reading its label/attrs from the live graph and its
+  // adjacency purely from the delta ranges.
+  NodeId a = AddValueNode(10);
+  GraphSnapshot base(g_, GraphView::kOld);  // before the batch's node
+  NodeId fresh = AddValueNode(4);
+  ASSERT_GE(fresh, base.NumNodes());
+  UpdateBatch batch;
+  batch.updates.push_back({UpdateKind::kInsert, a, fresh, e_});
+  ASSERT_TRUE(ApplyUpdateBatch(&g_, &batch).ok());
+
+  DeltaVio live = Delta(rules_, batch, SnapshotMode::kNever);
+  DeltaVio delta = Delta(rules_, batch, SnapshotMode::kAlways, &base);
+  for (const DeltaVio* d : {&live, &delta}) {
+    EXPECT_EQ(d->added.size(), 1u);
+    EXPECT_TRUE(d->added.Contains(Violation{0, {a, fresh}}));
+    EXPECT_TRUE(d->removed.empty());
+  }
+}
+
 TEST_F(IncDectTest, DeltaMatchesBatchRecomputation) {
   // The defining correctness property, on a hand-built case.
   NodeId a = AddValueNode(10), b = AddValueNode(5), c = AddValueNode(20);

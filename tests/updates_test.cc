@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "core/parser.h"
+#include "detect/inc_dect.h"
 #include "graph/generators.h"
 #include "graph/updates.h"
 
@@ -64,6 +66,75 @@ TEST(UpdatesTest, ApplyCreatesOverlayAndFiltersNoOps) {
   EXPECT_TRUE(g.HasEdge(b, c, l, GraphView::kNew));
   EXPECT_FALSE(g.HasEdge(a, b, l, GraphView::kNew));
   EXPECT_TRUE(g.HasEdge(a, b, l, GraphView::kOld));
+}
+
+TEST(UpdatesTest, PartialFailureLeavesBatchEqualToOverlay) {
+  // The documented contract: on a mid-batch failure the applied prefix
+  // stays applied AND the batch is truncated to exactly that prefix, so
+  // `batch` always describes the overlay on `g` — running IncDect on it
+  // or rolling back are both sound. The out-of-range endpoint in the
+  // middle is a real error (kInvalidArgument), not a droppable no-op.
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  NodeId a = g.AddNode("a"), b = g.AddNode("b"), c = g.AddNode("c");
+  LabelId l = schema->InternLabel("e");
+  ASSERT_TRUE(g.AddEdge(a, b, l).ok());
+
+  UpdateBatch batch;
+  batch.updates.push_back({UpdateKind::kInsert, b, c, l});
+  batch.updates.push_back({UpdateKind::kInsert, a, c, l});
+  batch.updates.push_back({UpdateKind::kInsert, a, kInvalidNode, l});  // bad
+  batch.updates.push_back({UpdateKind::kDelete, a, b, l});  // never reached
+
+  size_t failed_record = 0;
+  Status s = ApplyUpdateBatch(&g, &batch, &failed_record);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(failed_record, 2u);
+
+  // The batch now holds exactly the applied prefix...
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.updates[0].dst, c);
+  EXPECT_EQ(batch.updates[1].src, a);
+  // ...and the overlay matches it record for record.
+  EXPECT_TRUE(g.HasEdge(b, c, l, GraphView::kNew));
+  EXPECT_TRUE(g.HasEdge(a, c, l, GraphView::kNew));
+  EXPECT_TRUE(g.HasEdge(a, b, l, GraphView::kNew));  // delete never ran
+  EXPECT_TRUE(g.HasPendingUpdate());
+
+  // Rollback restores the pre-batch graph, as the contract promises.
+  g.Rollback();
+  EXPECT_FALSE(g.HasPendingUpdate());
+  EXPECT_FALSE(g.HasEdge(b, c, l, GraphView::kNew));
+  EXPECT_TRUE(g.HasEdge(a, b, l, GraphView::kNew));
+}
+
+TEST(UpdatesTest, PartialFailurePrefixIsDetectable) {
+  // The truncated prefix is a well-formed batch: incremental detection
+  // over it agrees with batch recomputation, instead of the pre-fix
+  // half-checked state (overlay ahead of the batch description).
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  LabelId n = schema->InternLabel("n");
+  LabelId e = schema->InternLabel("e");
+  AttrId v = schema->InternAttr("v");
+  NodeId a = g.AddNode(n), b = g.AddNode(n);
+  g.SetAttr(a, v, Value(int64_t{10}));
+  g.SetAttr(b, v, Value(int64_t{5}));
+
+  UpdateBatch batch;
+  batch.updates.push_back({UpdateKind::kInsert, a, b, e});   // violating
+  batch.updates.push_back({UpdateKind::kInsert, kInvalidNode, b, e});
+  ASSERT_FALSE(ApplyUpdateBatch(&g, &batch).ok());
+  ASSERT_EQ(batch.size(), 1u);
+
+  auto rules =
+      ParseNgds("ngd r { match (x:n)-[e]->(y:n) then x.v <= y.v }", schema);
+  ASSERT_TRUE(rules.ok());
+  auto delta = IncDect(g, *rules, batch);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->added.size(), 1u);
+  EXPECT_TRUE(delta->added.Contains(Violation{0, {a, b}}));
 }
 
 TEST(UpdatesTest, NewNodeInsertionsCloneLabelAndAttrs) {
