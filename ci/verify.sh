@@ -24,7 +24,12 @@ run_config() {
 }
 
 run_config release -DCMAKE_BUILD_TYPE=Release
-run_config asan -DCMAKE_BUILD_TYPE=Debug -DNGD_SANITIZE=ON \
-  -DNGD_BUILD_BENCHMARKS=OFF
+# Reduced randomized sweeps under the sanitizers, matching the CI job
+# (full sweeps run in the release configuration above).
+(
+  export NGD_DIFF_CASES=150 NGD_SIGMA_CASES=120
+  run_config asan -DCMAKE_BUILD_TYPE=Debug -DNGD_SANITIZE=ON \
+    -DNGD_BUILD_BENCHMARKS=OFF
+)
 
 echo "==== tier-1 verification passed ===="

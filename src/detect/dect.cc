@@ -75,6 +75,15 @@ bool ResolveSnapshot(const Graph& g, const NgdSet& sigma, SnapshotMode mode) {
 }
 
 VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
+  // Σ-optimizer wiring: detect against the implication-minimized rule set
+  // and remap rule indices back to the caller's Σ. One re-entry, with the
+  // mode cleared, keeps the engine body oblivious to minimization.
+  DectOptions inner;
+  MinimizedSigma m;
+  if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
+    return RemapViolations(Dect(g, m.sigma, inner), m.report.kept);
+  }
+
   std::optional<GraphSnapshot> snap;
   if (ResolveSnapshot(g, sigma, opts.snapshot_mode)) {
     snap.emplace(g, opts.view);
@@ -101,15 +110,29 @@ VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
 }
 
 std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
-                                          GraphView view, SnapshotMode mode) {
+                                          const DectOptions& opts) {
+  // Minimization preserves emptiness (a dropped rule's violation always
+  // comes with a kept rule's violation), so validation may sweep the kept
+  // rules only; the witness index is remapped back to the caller's Σ.
+  DectOptions inner;
+  MinimizedSigma m;
+  if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
+    std::optional<Violation> witness = FindAnyViolation(g, m.sigma, inner);
+    if (witness.has_value()) {
+      witness->ngd_index =
+          m.report.kept[static_cast<size_t>(witness->ngd_index)];
+    }
+    return witness;
+  }
+
   // Worst case (G |= Σ, the common validation outcome) is a full sweep,
   // so the same kAuto cost model applies as for Dect; callers who know
   // violations are common pass kNever to skip the O(|E|) build an early
   // witness would waste.
   std::optional<GraphSnapshot> snap;
-  if (ResolveSnapshot(g, sigma, mode)) snap.emplace(g, view);
+  if (ResolveSnapshot(g, sigma, opts.snapshot_mode)) snap.emplace(g, opts.view);
   std::optional<Violation> witness;
-  SweepRules(g, snap ? &*snap : nullptr, sigma, view,
+  SweepRules(g, snap ? &*snap : nullptr, sigma, opts.view,
              /*stop_sweep_on_false=*/true,
              [&](int f, const Binding& binding) {
                witness = Violation{f, binding};

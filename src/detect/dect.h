@@ -22,6 +22,7 @@
 
 #include "detect/violation.h"
 #include "match/homomorphism.h"
+#include "reason/sigma_optimizer.h"
 
 namespace ngd {
 
@@ -37,6 +38,13 @@ struct DectOptions {
   /// this many violations (0 = unlimited).
   size_t max_violations_per_ngd = 0;
   SnapshotMode snapshot_mode = SnapshotMode::kAuto;
+  /// Σ-optimizer (reason/sigma_optimizer.h): kNever runs Σ verbatim (the
+  /// default and the equivalence oracle); kAlways/kAuto detect against the
+  /// implication-minimized rule set and remap violation indices back to Σ.
+  /// Kept-rule violations are preserved exactly; dropped (implied) rules
+  /// report none — any graph violating them also violates a kept rule.
+  MinimizeMode minimize_sigma = MinimizeMode::kNever;
+  SigmaOptimizerOptions sigma_optimizer = {};
 };
 
 /// The kAuto cost model: true when the seed-candidate volume of Σ (the
@@ -52,12 +60,22 @@ bool ResolveSnapshot(const Graph& g, const NgdSet& sigma, SnapshotMode mode);
 /// Vio(Σ, G): all violations of all NGDs in Σ.
 VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts = {});
 
-/// First violation found, or nullopt if G |= Σ (early exit). `mode` as
-/// in DectOptions: kNever skips the snapshot build callers who expect
-/// an early witness would waste.
+/// First violation found, or nullopt if G |= Σ (early exit). Honors
+/// opts.snapshot_mode (kNever skips the snapshot build callers who expect
+/// an early witness would waste) and opts.minimize_sigma — minimization
+/// preserves emptiness exactly, which makes it a pure win for validation:
+/// the full sweep over a clean graph shrinks to the kept rules.
 std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
-                                          GraphView view = GraphView::kNew,
-                                          SnapshotMode mode = SnapshotMode::kAuto);
+                                          const DectOptions& opts);
+
+inline std::optional<Violation> FindAnyViolation(
+    const Graph& g, const NgdSet& sigma, GraphView view = GraphView::kNew,
+    SnapshotMode mode = SnapshotMode::kAuto) {
+  DectOptions opts;
+  opts.view = view;
+  opts.snapshot_mode = mode;
+  return FindAnyViolation(g, sigma, opts);
+}
 
 /// The validation problem: G |= Σ.
 inline bool Validate(const Graph& g, const NgdSet& sigma,

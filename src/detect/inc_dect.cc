@@ -263,6 +263,18 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
                            const IncDectOptions& opts) {
   NGD_RETURN_IF_ERROR(ValidateForIncremental(sigma));
 
+  // Σ-optimizer wiring (after validation, so rejection behavior matches
+  // the oracle even when the offending rule would have been dropped):
+  // dropped (implied) rules spawn no pivot tasks; kept-rule deltas are
+  // computed verbatim and remapped back to Σ.
+  IncDectOptions inner;
+  MinimizedSigma m;
+  if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
+    auto delta = IncDect(g, m.sigma, batch, inner);
+    if (!delta.ok()) return delta;
+    return RemapDelta(*std::move(delta), m.report.kept);
+  }
+
   UpdateIndex index(g, batch);
   std::vector<PivotTask> tasks = EnumeratePivotTasks(g, sigma, index);
 

@@ -200,6 +200,13 @@ struct IncDectOptions {
   /// Enable the AffectedArea prefilter + per-rule search scope. Off
   /// reproduces the pre-prefilter engine exactly (the oracle config).
   bool affected_area_prefilter = true;
+  /// Σ-optimizer (reason/sigma_optimizer.h): kAlways/kAuto run the pivot
+  /// machinery on the implication-minimized rule set — dropped rules spawn
+  /// no pivot tasks at all — and remap ΔVio indices back to Σ. Per-rule
+  /// deltas are independent, so kept-rule deltas are preserved exactly.
+  /// kNever (default) is the oracle.
+  MinimizeMode minimize_sigma = MinimizeMode::kNever;
+  SigmaOptimizerOptions sigma_optimizer = {};
 };
 
 /// The kAuto cost model: true when the depth-1 frontier the pivot tasks

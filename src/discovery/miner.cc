@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "detect/dect.h"
+#include "reason/sigma_optimizer.h"
 
 namespace ngd {
 
@@ -213,6 +214,16 @@ NgdSet DiscoverNgds(const Graph& g, const MinerOptions& opts) {
         }
       }
     }
+  }
+
+  // Levelwise mining rediscovers the same dependency through every pattern
+  // that carries it (and through weaker comparisons on other samples); the
+  // Σ-optimizer removes everything the kept rules already imply, so the
+  // returned catalog is the set detection actually needs to run.
+  if (opts.suppress_implied && state.rules.size() > 1) {
+    MinimizedSigma m =
+        MinimizeSigma(state.rules, g.schema(), SigmaOptimizerOptions{});
+    return std::move(m.sigma);
   }
   return std::move(state.rules);
 }

@@ -31,6 +31,12 @@ struct MinerOptions {
   /// populationTotal.
   bool mine_three_edge_fanouts = true;
   bool mine_sum_literals = true;  ///< x.A + y.B = z.C (3-var equalities)
+  /// Run the Σ-optimizer (reason/sigma_optimizer.h) over the mined set
+  /// before returning: rules implied by other mined rules — inter-pattern
+  /// duplicates and consequences the per-pair `=`-subsumes-`<=`/`>=`
+  /// shortcut cannot see — are suppressed. Off returns the raw levelwise
+  /// output.
+  bool suppress_implied = true;
 };
 
 /// Mines NGDs that hold on `g` with the requested confidence.

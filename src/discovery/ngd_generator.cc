@@ -189,4 +189,81 @@ NgdSet GenerateNgdSet(const Graph& g, const NgdGenOptions& opts) {
   return set;
 }
 
+namespace {
+
+/// Relaxes a comparison literal by a positive slack so the original
+/// literal implies the result; nullopt when the shape has no sound
+/// constant-side weakening (≠, or = against a non-integer-constant side).
+std::optional<Literal> WeakenLiteral(const Literal& lit, int64_t slack) {
+  const bool rhs_const = lit.rhs().IsValid() &&
+                         lit.rhs().kind() == Expr::Kind::kIntConst;
+  auto shifted_rhs = [&](int64_t delta) -> std::optional<Expr> {
+    if (rhs_const) {
+      const int64_t v = lit.rhs().int_value();
+      // Stay away from the int64 rim; callers fall back to a duplicate.
+      if (delta > 0 && v > INT64_MAX - delta) return std::nullopt;
+      if (delta < 0 && v < INT64_MIN - delta) return std::nullopt;
+      return Expr::IntConst(v + delta);
+    }
+    return delta > 0
+               ? Expr::Add(lit.rhs(), Expr::IntConst(delta))
+               : Expr::Sub(lit.rhs(), Expr::IntConst(-delta));
+  };
+  switch (lit.op()) {
+    case CmpOp::kLe:
+    case CmpOp::kLt: {
+      auto rhs = shifted_rhs(slack);
+      if (!rhs.has_value()) return std::nullopt;
+      return Literal(lit.lhs(), lit.op(), *std::move(rhs));
+    }
+    case CmpOp::kGe:
+    case CmpOp::kGt: {
+      auto rhs = shifted_rhs(-slack);
+      if (!rhs.has_value()) return std::nullopt;
+      return Literal(lit.lhs(), lit.op(), *std::move(rhs));
+    }
+    case CmpOp::kEq: {
+      // e = c implies e <= c + slack; restricted to integer-constant
+      // bounds so string equalities are never turned into order
+      // comparisons (which are unsatisfiable on strings, not weaker).
+      if (!rhs_const) return std::nullopt;
+      auto rhs = shifted_rhs(slack);
+      if (!rhs.has_value()) return std::nullopt;
+      return Literal(lit.lhs(), CmpOp::kLe, *std::move(rhs));
+    }
+    case CmpOp::kNe:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+NgdSet InflateWithImpliedVariants(const NgdSet& base,
+                                  const InflateOptions& opts) {
+  Rng rng(opts.seed);
+  NgdSet out;
+  for (const Ngd& ngd : base.ngds()) out.Add(ngd);
+  for (size_t i = 0; i < base.size(); ++i) {
+    const Ngd& b = base[i];
+    for (size_t k = 0; k < opts.variants_per_rule; ++k) {
+      const std::string name =
+          b.name() + "_imp" + std::to_string(k);
+      std::vector<Literal> y;
+      bool weaken = !rng.Bernoulli(opts.duplicate_fraction);
+      for (const Literal& lit : b.Y()) {
+        std::optional<Literal> w;
+        if (weaken) {
+          w = WeakenLiteral(lit, rng.UniformInt(1, opts.max_weaken));
+        }
+        // Unweakenable literals ride along verbatim; a variant where
+        // nothing weakened is an exact duplicate — implied all the same.
+        y.push_back(w.has_value() ? *std::move(w) : lit);
+      }
+      out.Add(Ngd(name, b.pattern(), b.X(), std::move(y)));
+    }
+  }
+  return out;
+}
+
 }  // namespace ngd

@@ -40,6 +40,28 @@ struct NgdGenOptions {
 /// All returned NGDs pass Validate() and ValidateForIncremental().
 NgdSet GenerateNgdSet(const Graph& g, const NgdGenOptions& opts);
 
+struct InflateOptions {
+  /// Implied variants appended per base rule (weakened-threshold copies;
+  /// rules whose Y offers no weakenable comparison get exact duplicates).
+  size_t variants_per_rule = 3;
+  /// Fraction of variants that are exact duplicates instead of weakened
+  /// copies (merged-catalog realism: the same rule arriving twice).
+  double duplicate_fraction = 0.25;
+  /// Weakening slack drawn from [1, max_weaken] per comparison literal.
+  int64_t max_weaken = 50;
+  uint64_t seed = 17;
+};
+
+/// Models a redundancy-heavy production catalog: appends, after the base
+/// rules, variants each base rule IMPLIES — `e ⊗ c` comparisons relaxed by
+/// a positive slack (≤/< raised, ≥/> lowered, = widened to ≤), or exact
+/// duplicates. The Σ-optimizer (reason/sigma_optimizer.h) must be able to
+/// reduce the result back to (a cover of) the base rules; the sigma
+/// differential test and the `sigma_minimize` BENCH series both build
+/// their inflated-Σ workloads here.
+NgdSet InflateWithImpliedVariants(const NgdSet& base,
+                                  const InflateOptions& opts);
+
 }  // namespace ngd
 
 #endif  // NGD_DISCOVERY_NGD_GENERATOR_H_

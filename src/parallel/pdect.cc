@@ -9,6 +9,18 @@ namespace ngd {
 
 PDectResult PDect(const Graph& g, const NgdSet& sigma,
                   const PDectOptions& opts) {
+  // Σ-optimizer wiring: minimize before partitioning, so dropped rules
+  // never assign seeds to any processor. elapsed_seconds of the re-entry
+  // covers the parallel detection itself; the (cached, amortized)
+  // minimization cost is the caller's setup, as with snapshot builds.
+  PDectOptions inner;
+  MinimizedSigma m;
+  if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
+    PDectResult result = PDect(g, m.sigma, inner);
+    result.vio = RemapViolations(std::move(result.vio), m.report.kept);
+    return result;
+  }
+
   WallTimer timer;
   const int p = std::max(1, opts.num_processors);
   PartitionResult partition = PartitionGraph(g, p);

@@ -23,6 +23,11 @@ struct PDectOptions {
   /// when the Dect cost model says the build amortizes; kAlways/kNever
   /// force the choice.
   SnapshotMode snapshot_mode = SnapshotMode::kAuto;
+  /// Σ-optimizer (reason/sigma_optimizer.h): kAlways/kAuto seed workers
+  /// from the implication-minimized rule set only (dropped rules assign no
+  /// seeds to any processor) and remap violation indices back to Σ.
+  MinimizeMode minimize_sigma = MinimizeMode::kNever;
+  SigmaOptimizerOptions sigma_optimizer = {};
 };
 
 struct PDectResult {

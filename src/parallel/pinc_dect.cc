@@ -429,6 +429,21 @@ class PIncDectEngine {
 StatusOr<PIncDectResult> PIncDect(const Graph& g, const NgdSet& sigma,
                                   const UpdateBatch& batch,
                                   const PIncDectOptions& opts) {
+  // Σ-optimizer wiring: validate the full Σ first (rejection behavior
+  // matches the oracle), then run the whole pivot/replicate/balance
+  // pipeline on the minimized set and remap ΔVio back to Σ.
+  if (opts.minimize_sigma != MinimizeMode::kNever) {
+    NGD_RETURN_IF_ERROR(ValidateForIncremental(sigma));
+    PIncDectOptions inner;
+    MinimizedSigma m;
+    if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
+      auto result = PIncDect(g, m.sigma, batch, inner);
+      if (!result.ok()) return result;
+      result->delta = RemapDelta(std::move(result->delta), m.report.kept);
+      return result;
+    }
+  }
+
   PIncDectEngine engine(g, sigma, batch, opts);
   return engine.Run();
 }

@@ -58,6 +58,12 @@ struct PIncDectOptions {
   /// Adjacency lists shorter than this never split (guard against
   /// degenerate splits of tiny lists).
   size_t min_split_adjacency = 8;
+  /// Σ-optimizer (reason/sigma_optimizer.h): kAlways/kAuto enumerate
+  /// pivots, extract N_C and partition workloads over the implication-
+  /// minimized rule set only, remapping ΔVio indices back to Σ. kNever
+  /// (default) is the oracle.
+  MinimizeMode minimize_sigma = MinimizeMode::kNever;
+  SigmaOptimizerOptions sigma_optimizer = {};
 };
 
 struct PIncDectResult {

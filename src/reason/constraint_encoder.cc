@@ -322,6 +322,17 @@ bool ConstraintSystem::CheckStrings() const {
 }
 
 SolveResult ConstraintSystem::Check(const VarTable& vars) const {
+  return CheckWith(vars, solver_opts_);
+}
+
+SolveResult ConstraintSystem::QuickCheck(const VarTable& vars) const {
+  SolverOptions quick = solver_opts_;
+  if (quick.max_branch_nodes > 32) quick.max_branch_nodes = 32;
+  return CheckWith(vars, quick);
+}
+
+SolveResult ConstraintSystem::CheckWith(const VarTable& vars,
+                                        const SolverOptions& solver_opts) const {
   // Type conflicts: a variable used both arithmetically and as a string.
   std::unordered_set<int> int_typed = int_typed_;
   for (const LinConstraint& c : numeric_) {
@@ -332,7 +343,7 @@ SolveResult ConstraintSystem::Check(const VarTable& vars) const {
   }
   if (!CheckStrings()) return SolveResult::kUnsat;
 
-  LinearSolver solver(static_cast<int>(vars.size()), solver_opts_);
+  LinearSolver solver(static_cast<int>(vars.size()), solver_opts);
   for (const LinConstraint& c : numeric_) solver.AddConstraint(c);
   return solver.Solve(nullptr);
 }

@@ -105,11 +105,26 @@ class ConstraintSystem {
 
   void AddNumeric(const LinConstraint& c) { numeric_.push_back(c); }
 
+  /// Number of numeric constraints asserted so far. The obligation case
+  /// split probes feasibility (QuickCheck) only when this grew since the
+  /// last probe — presence and string conflicts are already detected
+  /// eagerly by RequirePresent/RequireAbsent/AddStringFact.
+  size_t NumericCount() const { return numeric_.size(); }
+
   /// Asserts a string fact; returns false on immediate conflict.
   bool AddStringFact(const EncodedLiteral& lit, bool positive);
 
   /// Decides feasibility of everything asserted so far.
   SolveResult Check(const VarTable& vars) const;
+
+  /// Budget-starved feasibility probe for branch pruning: runs the same
+  /// pipeline with the branch-node budget clamped to a handful, so the
+  /// answer comes from bounds propagation (plus a token amount of
+  /// search). kUnsat is exact — safe to prune on; kSat/kUnknown just mean
+  /// "keep going". The obligation case split calls this at every
+  /// obligation boundary, which turns refutations that the leaf-only
+  /// check reached in exponential time into linear walks.
+  SolveResult QuickCheck(const VarTable& vars) const;
 
   /// Extracts a witness assignment (after Check() == kSat): integer
   /// values for numeric vars, strings for string vars.
@@ -123,6 +138,9 @@ class ConstraintSystem {
   const std::unordered_set<int>& absent() const { return absent_; }
 
  private:
+  SolveResult CheckWith(const VarTable& vars,
+                        const SolverOptions& solver_opts) const;
+
   struct StringFacts {
     /// var -> forced constant (from positive equality with a constant).
     std::unordered_map<int, std::string> equals;

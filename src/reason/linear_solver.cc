@@ -3,23 +3,37 @@
 #include <algorithm>
 #include <cassert>
 #include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/int128.h"
 
 namespace ngd {
 
 namespace {
 
-using Int128 = __int128;
+/// Internal term with a widened coefficient: input coefficients are
+/// int64, but normalization (negation for ≥/>, duplicate-term merging)
+/// must not wrap at the int64 rim — the PR 1 overflow class. Products
+/// coef·bound stay within Int128 because bounds are clamped to
+/// |INT64|/4 and |coef| ≤ 2^64.
+struct ITerm {
+  int var;
+  Int128 coef;
+};
 
-/// Internal normalized constraint: sum(terms) <= rhs.
+/// Internal normalized constraint: sum(terms) <= rhs. rhs is widened for
+/// the same reason: negating INT64_MIN or forming `rhs - 1` at the
+/// boundary is UB in 64 bits.
 struct LeConstraint {
-  std::vector<LinTerm> terms;
-  int64_t rhs;
+  std::vector<ITerm> terms;
+  Int128 rhs;
 };
 
 /// Disequality: sum(terms) != rhs.
 struct NeConstraint {
-  std::vector<LinTerm> terms;
-  int64_t rhs;
+  std::vector<ITerm> terms;
+  Int128 rhs;
 };
 
 struct Interval {
@@ -29,25 +43,80 @@ struct Interval {
   bool Empty() const { return lo && hi && *lo > *hi; }
 };
 
-/// Combines duplicate variables; drops zero coefficients.
-std::vector<LinTerm> CanonicalTerms(const std::vector<LinTerm>& terms) {
-  std::vector<LinTerm> out;
+/// Combines duplicate variables (in Int128, immune to coefficient-sum
+/// wraparound); drops zero coefficients; sorts by variable so equal
+/// linear forms are term-for-term identical.
+std::vector<ITerm> CanonicalTerms(const std::vector<LinTerm>& terms) {
+  std::vector<ITerm> out;
   for (const LinTerm& t : terms) {
     if (t.coef == 0) continue;
     bool merged = false;
-    for (LinTerm& o : out) {
+    for (ITerm& o : out) {
       if (o.var == t.var) {
         o.coef += t.coef;
         merged = true;
         break;
       }
     }
-    if (!merged) out.push_back(t);
+    if (!merged) out.push_back(ITerm{t.var, t.coef});
   }
   out.erase(std::remove_if(out.begin(), out.end(),
-                           [](const LinTerm& t) { return t.coef == 0; }),
+                           [](const ITerm& t) { return t.coef == 0; }),
             out.end());
+  std::sort(out.begin(), out.end(),
+            [](const ITerm& a, const ITerm& b) { return a.var < b.var; });
   return out;
+}
+
+/// Pairwise opposite-form refutation — the one Fourier–Motzkin step
+/// interval propagation cannot see. Two constraints whose term vectors
+/// are proportional with opposite sign, `s·f ≤ r1` and `-t·f ≤ r2`
+/// (s, t > 0), are jointly infeasible iff floor(r1/s) + floor(r2/t) < 0:
+/// summing the normalized forms gives 0 ≤ floor(r1/s) + floor(r2/t).
+/// This decides exactly the conjunctions redundancy reasoning produces —
+/// a linear form asserted ≤ c by one rule and ≥ c' > c by another —
+/// where bisection would grind through the whole clamped domain and give
+/// up with kUnknown.
+bool OppositePairInfeasible(const std::vector<LeConstraint>& les) {
+  struct Bound {
+    bool has_pos = false;  ///< f ≤ pos seen
+    bool has_neg = false;  ///< -f ≤ neg seen (i.e. f ≥ -neg)
+    Int128 pos = 0;
+    Int128 neg = 0;
+  };
+  // Key: normalized term vector (divided by |gcd|, sign fixed so the
+  // first coefficient is positive), rendered as a string of fixed-width
+  // chunks. Systems here are tiny; simplicity over hashing finesse.
+  std::unordered_map<std::string, Bound> forms;
+  for (const LeConstraint& c : les) {
+    if (c.terms.empty()) continue;
+    Int128 g = 0;
+    for (const ITerm& t : c.terms) g = Gcd128(g, t.coef);
+    const bool flip = c.terms.front().coef < 0;
+    std::string key;
+    key.reserve(c.terms.size() * 24);
+    for (const ITerm& t : c.terms) {
+      Int128 coef = t.coef / g;
+      if (flip) coef = -coef;
+      key.append(std::to_string(t.var));
+      key.push_back(':');
+      key.append(Int128ToString(coef));
+      key.push_back(',');
+    }
+    // Normalized rhs: sum' <= floor(rhs / g), integer-sound since g > 0.
+    Int128 rhs = c.rhs;
+    Int128 bound = rhs >= 0 ? rhs / g : -((-rhs + g - 1) / g);
+    Bound& b = forms[key];
+    if (flip) {
+      if (!b.has_neg || bound < b.neg) b.neg = bound;
+      b.has_neg = true;
+    } else {
+      if (!b.has_pos || bound < b.pos) b.pos = bound;
+      b.has_pos = true;
+    }
+    if (b.has_pos && b.has_neg && b.pos + b.neg < 0) return true;
+  }
+  return false;
 }
 
 class Search {
@@ -60,7 +129,10 @@ class Search {
   std::vector<NeConstraint> nes;
 
   SolveResult Run(std::vector<int64_t>* solution) {
-    return Branch(intervals_, 0, solution);
+    if (OppositePairInfeasible(les)) return SolveResult::kUnsat;
+    SolveResult r = Branch(intervals_, 0, solution);
+    if (r == SolveResult::kUnsat && saturated_) return SolveResult::kUnknown;
+    return r;
   }
 
  private:
@@ -82,26 +154,26 @@ class Search {
           bool rest_bounded = true;
           for (size_t i = 0; i < c.terms.size(); ++i) {
             if (i == j) continue;
-            const LinTerm& t = c.terms[i];
+            const ITerm& t = c.terms[i];
             const Interval& x = (*iv)[t.var];
             if (t.coef > 0) {
               if (!x.lo) {
                 rest_bounded = false;
                 break;
               }
-              rest_min += Int128(t.coef) * *x.lo;
+              rest_min += t.coef * *x.lo;
             } else {
               if (!x.hi) {
                 rest_bounded = false;
                 break;
               }
-              rest_min += Int128(t.coef) * *x.hi;
+              rest_min += t.coef * *x.hi;
             }
           }
           if (!rest_bounded) continue;
-          const LinTerm& t = c.terms[j];
+          const ITerm& t = c.terms[j];
           Interval& x = (*iv)[t.var];
-          Int128 slack = Int128(c.rhs) - rest_min;
+          Int128 slack = c.rhs - rest_min;
           if (t.coef > 0) {
             // x_j <= floor(slack / coef)
             Int128 bound = slack >= 0 ? slack / t.coef
@@ -130,10 +202,20 @@ class Search {
     return true;  // fixpoint not reached within cap; intervals still sound
   }
 
-  static int64_t Clamp(Int128 v) {
+  /// Narrows a derived bound into the representable working range. A
+  /// saturating narrow LOOSENS the bound (sound), but any kUnsat reached
+  /// afterwards may be an artifact of the loosened rim — Run() downgrades
+  /// it to kUnknown, the honest answer outside the exact range.
+  int64_t Clamp(Int128 v) const {
     const Int128 lo = INT64_MIN / 4, hi = INT64_MAX / 4;
-    if (v < lo) return static_cast<int64_t>(lo);
-    if (v > hi) return static_cast<int64_t>(hi);
+    if (v < lo) {
+      saturated_ = true;
+      return static_cast<int64_t>(lo);
+    }
+    if (v > hi) {
+      saturated_ = true;
+      return static_cast<int64_t>(hi);
+    }
     return static_cast<int64_t>(v);
   }
 
@@ -148,12 +230,12 @@ class Search {
     auto value_of = [&](int var) { return *iv[var].lo; };
     for (const LeConstraint& c : les) {
       Int128 sum = 0;
-      for (const LinTerm& t : c.terms) sum += Int128(t.coef) * value_of(t.var);
+      for (const ITerm& t : c.terms) sum += t.coef * value_of(t.var);
       if (sum > c.rhs) return false;
     }
     for (const NeConstraint& c : nes) {
       Int128 sum = 0;
-      for (const LinTerm& t : c.terms) sum += Int128(t.coef) * value_of(t.var);
+      for (const ITerm& t : c.terms) sum += t.coef * value_of(t.var);
       if (sum == c.rhs) return false;
     }
     return true;
@@ -167,13 +249,13 @@ class Search {
       const NeConstraint& c = nes[k];
       Int128 sum = 0;
       bool assigned = true;
-      for (const LinTerm& t : c.terms) {
+      for (const ITerm& t : c.terms) {
         const Interval& x = iv[t.var];
         if (!x.lo || !x.hi || *x.lo != *x.hi) {
           assigned = false;
           break;
         }
-        sum += Int128(t.coef) * *x.lo;
+        sum += t.coef * *x.lo;
       }
       if (assigned && sum == c.rhs) return static_cast<int>(k);
     }
@@ -233,12 +315,28 @@ class Search {
     Interval px = iv[pick];
     int64_t lo = px.lo.value_or(-opts_.domain_bound);
     int64_t hi = px.hi.value_or(opts_.domain_bound);
-    if (lo > hi) return SolveResult::kUnsat;
+    if (lo > hi) {
+      // Empty only because an unbounded side was clamped to the search
+      // domain (a genuinely empty interval dies in Propagate): beyond the
+      // domain there may well be a solution, so kUnsat would be a
+      // fabricated verdict.
+      return px.lo.has_value() && px.hi.has_value() ? SolveResult::kUnsat
+                                                    : SolveResult::kUnknown;
+    }
 
     bool saw_unknown = clamped_pick;
     if (lo == hi || best_range == 0) {
       iv[pick].lo = iv[pick].hi = lo;
       SolveResult r = Branch(iv, depth + 1, solution);
+      // Same honesty rule as the bisection merge below: when the point
+      // only exists because an unbounded side was clamped to the search
+      // domain, its refutation says nothing about values beyond the
+      // domain — kUnsat here would be a fabricated verdict (e.g.
+      // x >= domain_bound pins x to the clamp; a disequality at exactly
+      // that value refutes the point, not the constraint system).
+      if (r == SolveResult::kUnsat && clamped_pick) {
+        return SolveResult::kUnknown;
+      }
       return r;
     }
     // Bisect; try lower half first (small-magnitude witnesses).
@@ -265,41 +363,47 @@ class Search {
   const SolverOptions& opts_;
   std::vector<Interval> intervals_;
   size_t nodes_ = 0;
+  mutable bool saturated_ = false;
 };
 
 }  // namespace
 
 SolveResult LinearSolver::Solve(std::vector<int64_t>* solution) {
   Search search(num_vars_, opts_);
+  // All normalization arithmetic is Int128: `rhs - 1`, `-rhs` and
+  // coefficient negation are exactly the operations that wrap at the
+  // int64 rim (kLt with rhs = INT64_MIN, kGe/kEq with rhs = INT64_MIN,
+  // coef = INT64_MIN), and a wrapped bound silently flips a constraint.
   for (const LinConstraint& c : input_) {
-    std::vector<LinTerm> terms = CanonicalTerms(c.terms);
-    auto add_le = [&](std::vector<LinTerm> t, int64_t rhs) {
+    std::vector<ITerm> terms = CanonicalTerms(c.terms);
+    auto add_le = [&](std::vector<ITerm> t, Int128 rhs) {
       search.les.push_back(LeConstraint{std::move(t), rhs});
     };
     auto negated = [&]() {
-      std::vector<LinTerm> t = terms;
-      for (LinTerm& x : t) x.coef = -x.coef;
+      std::vector<ITerm> t = terms;
+      for (ITerm& x : t) x.coef = -x.coef;
       return t;
     };
+    const Int128 rhs = c.rhs;
     switch (c.op) {
       case CmpOp::kLe:
-        add_le(terms, c.rhs);
+        add_le(terms, rhs);
         break;
       case CmpOp::kLt:
-        add_le(terms, c.rhs - 1);
+        add_le(terms, rhs - 1);
         break;
       case CmpOp::kGe:
-        add_le(negated(), -c.rhs);
+        add_le(negated(), -rhs);
         break;
       case CmpOp::kGt:
-        add_le(negated(), -c.rhs - 1);
+        add_le(negated(), -rhs - 1);
         break;
       case CmpOp::kEq:
-        add_le(terms, c.rhs);
-        add_le(negated(), -c.rhs);
+        add_le(terms, rhs);
+        add_le(negated(), -rhs);
         break;
       case CmpOp::kNe:
-        search.nes.push_back(NeConstraint{terms, c.rhs});
+        search.nes.push_back(NeConstraint{terms, rhs});
         break;
     }
   }
@@ -319,13 +423,13 @@ SolveResult LinearSolver::Solve(std::vector<int64_t>* solution) {
       Search branch(num_vars_, opts_);
       branch.les = search.les;
       for (size_t k = 0; k < nes.size(); ++k) {
-        std::vector<LinTerm> t = nes[k].terms;
+        std::vector<ITerm> t = nes[k].terms;
         if (mask & (size_t{1} << k)) {
           // sum < rhs  =>  sum <= rhs - 1
           branch.les.push_back(LeConstraint{t, nes[k].rhs - 1});
         } else {
           // sum > rhs  =>  -sum <= -rhs - 1
-          for (LinTerm& x : t) x.coef = -x.coef;
+          for (ITerm& x : t) x.coef = -x.coef;
           branch.les.push_back(LeConstraint{std::move(t), -nes[k].rhs - 1});
         }
       }

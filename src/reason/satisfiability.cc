@@ -22,7 +22,7 @@ class ObligationSolver {
 
   ReasonOutcome Run() {
     ConstraintSystem cs(opts_.solver);
-    Decision d = Solve(0, cs);
+    Decision d = Solve(0, cs, 0);
     ReasonOutcome out;
     out.decision = d;
     if (d == Decision::kYes) out.detail = witness_;
@@ -129,8 +129,26 @@ class ObligationSolver {
     });
   }
 
-  Decision Solve(size_t index, const ConstraintSystem& cs) {
+  /// `probed_numeric` is the numeric-constraint count at the last
+  /// feasibility probe on this path — probing again is only worth the
+  /// solver rebuild when an obligation actually added constraints.
+  Decision Solve(size_t index, const ConstraintSystem& cs,
+                 size_t probed_numeric) {
     if (++branches_ > opts_.max_branches) return Decision::kUnknown;
+    // Early refutation: once an obligation has asserted new numeric
+    // constraints, a starved feasibility probe (exact on kUnsat) kills
+    // doomed branches here instead of at the leaves. Without it,
+    // refuting an implied rule re-discovers the same contradiction under
+    // every combination of the other obligations' alternatives —
+    // exponentially many leaf solver calls for what propagation sees
+    // immediately.
+    if (index > 0 && index < obs_.size() &&
+        cs.NumericCount() > probed_numeric) {
+      if (cs.QuickCheck(*vars_) == SolveResult::kUnsat) {
+        return Decision::kNo;
+      }
+      probed_numeric = cs.NumericCount();
+    }
     if (index == obs_.size()) {
       SolveResult r = cs.Check(*vars_);
       if (r == SolveResult::kSat) {
@@ -154,14 +172,15 @@ class ObligationSolver {
       for (const Literal& lx : X) {
         Decision d =
             AssertFalse(lx, ob.h, cs, [&](const ConstraintSystem& next) {
-              return Solve(index + 1, next);
+              return Solve(index + 1, next, probed_numeric);
             });
         if (d == Decision::kYes) return d;
         merge(d);
       }
       Decision d = AssertAllTrue(Y, 0, ob.h, cs,
                                  [&](const ConstraintSystem& next) {
-                                   return Solve(index + 1, next);
+                                   return Solve(index + 1, next,
+                                                probed_numeric);
                                  });
       if (d == Decision::kYes) return d;
       merge(d);
@@ -175,7 +194,7 @@ class ObligationSolver {
           for (const Literal& ly : Y) {
             Decision dy = AssertFalse(
                 ly, ob.h, after_x, [&](const ConstraintSystem& next) {
-                  return Solve(index + 1, next);
+                  return Solve(index + 1, next, probed_numeric);
                 });
             if (dy == Decision::kYes) return dy;
             if (dy == Decision::kUnknown) inner = Decision::kUnknown;
@@ -241,6 +260,13 @@ std::vector<MatchObligation> CollectObligations(const Graph& model,
 ReasonOutcome SolveObligations(const std::vector<MatchObligation>& obs,
                                VarTable* vars, const Graph& model,
                                const ReasonOptions& opts) {
+  if (opts.max_obligations > 0 && obs.size() > opts.max_obligations) {
+    ReasonOutcome out;
+    out.decision = Decision::kUnknown;
+    out.detail = "obligation budget exceeded (" + std::to_string(obs.size()) +
+                 " > " + std::to_string(opts.max_obligations) + ")";
+    return out;
+  }
   ObligationSolver solver(obs, vars, model, opts);
   return solver.Run();
 }

@@ -41,6 +41,11 @@ struct ReasonOptions {
   SolverOptions solver;
   /// Branch budget across the obligation case split.
   size_t max_branches = 200000;
+  /// Obligation-count ceiling: candidates whose match set exceeds it are
+  /// answered kUnknown up front (0 = unlimited). The Σ-optimizer caps
+  /// this so one wildcard-dense pair cannot stall a detection call; the
+  /// honest kUnknown just keeps the rule.
+  size_t max_obligations = 0;
 };
 
 /// One per (NGD, match) pair on a candidate model: require X → Y to hold,

@@ -1,0 +1,44 @@
+// Shared __int128 helpers for the exact-arithmetic layers (Rational, the
+// reasoning LinearSolver). One definition, so a future sign- or
+// boundary-handling fix cannot drift between per-file copies.
+
+#ifndef NGD_UTIL_INT128_H_
+#define NGD_UTIL_INT128_H_
+
+#include <string>
+
+namespace ngd {
+
+using Int128 = __int128;
+
+/// gcd(|a|, |b|); gcd(x, 0) = x. Safe at the Int128 extremes the callers
+/// produce (products of int64 values stay well below the 2^127 rim).
+inline Int128 Gcd128(Int128 a, Int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Exact decimal rendering (std::to_string has no Int128 overload, and
+/// truncating casts would corrupt values past the int64 range).
+inline std::string Int128ToString(Int128 v) {
+  if (v == 0) return "0";
+  const bool negative = v < 0;
+  std::string digits;
+  while (v != 0) {
+    int d = static_cast<int>(negative ? -(v % 10) : (v % 10));
+    digits.push_back(static_cast<char>('0' + d));
+    v /= 10;
+  }
+  if (negative) digits.push_back('-');
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+}  // namespace ngd
+
+#endif  // NGD_UTIL_INT128_H_

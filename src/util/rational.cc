@@ -4,10 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/int128.h"
+
 namespace ngd {
 
 namespace {
-using Int128 = __int128;
 
 // Numeric invariants stay fatal in release builds: a Rational with a zero
 // denominator (or a silently wrapped component) would turn detection into
@@ -24,14 +25,6 @@ int64_t CheckedNarrow(Int128 v, const char* what) {
   return static_cast<int64_t>(v);
 }
 
-Int128 Gcd128(Int128 a, Int128 b) {
-  while (b != 0) {
-    Int128 t = a % b;
-    a = b;
-    b = t;
-  }
-  return a;
-}
 }  // namespace
 
 Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {

@@ -27,8 +27,20 @@ class Rational {
   bool IsInteger() const { return den_ == 1; }
   /// Integer value; requires IsInteger().
   int64_t ToInteger() const;
+  /// Nearest-double approximation for reporting/metrics — anything that
+  /// must stay exact stays in Rational. Contract: never overflows or
+  /// loses the sign (|num/den| ≤ |num| < 2^63, well inside double
+  /// range); computed in the widest hardware float so both int64
+  /// components are taken EXACTLY where long double has a ≥ 64-bit
+  /// mantissa (x86-64), giving ≤ 1 ulp error even for huge numerators.
+  /// The naive double(num)/double(den) it replaces silently rounded each
+  /// component to 53 bits first, compounding to multi-ulp error above
+  /// 2^53 (regression-tested in tests/util_test.cc). On platforms where
+  /// long double is double-width this degrades gracefully to that naive
+  /// value.
   double ToDouble() const {
-    return static_cast<double>(num_) / static_cast<double>(den_);
+    return static_cast<double>(static_cast<long double>(num_) /
+                               static_cast<long double>(den_));
   }
 
   Rational operator+(const Rational& o) const;

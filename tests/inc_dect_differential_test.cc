@@ -29,10 +29,8 @@
 
 #include "detect/dect.h"
 #include "detect/inc_dect.h"
-#include "discovery/ngd_generator.h"
-#include "graph/generators.h"
 #include "parallel/pinc_dect.h"
-#include "util/rng.h"
+#include "test_util.h"
 
 namespace ngd {
 namespace {
@@ -85,14 +83,12 @@ struct CaseOutcome {
   bool delta_nonempty = false;
 };
 
-/// One randomized differential case; everything derives from `seed`.
+/// One randomized differential case; everything derives from `seed`. The
+/// (graph, Σ) pair comes from the shared generator in test_util.h — the
+/// same workload space the Σ-optimizer differential harness sweeps.
 CaseOutcome RunCase(uint64_t seed) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
-  const size_t nodes = 40 + static_cast<size_t>(rng.UniformInt(0, 100));
-  const size_t edges =
-      nodes + static_cast<size_t>(rng.UniformInt(
-                  static_cast<int64_t>(nodes) / 2,
-                  static_cast<int64_t>(nodes) * 2));
+  testing_util::RandomWorkload w = testing_util::MakeRandomWorkload(seed, &rng);
   const double fractions[] = {0.05, 0.1, 0.2, 0.3, 0.4};
   const double gammas[] = {0.0, 0.25, 0.5, 0.75, 1.0};
   const double fraction = fractions[rng.UniformInt(0, 4)];
@@ -104,23 +100,16 @@ CaseOutcome RunCase(uint64_t seed) {
   const bool pass_base_snapshot = rng.Bernoulli(0.5);
 
   std::ostringstream repro_os;
-  repro_os << "repro: NGD_DIFF_SEED=" << seed << " (nodes=" << nodes
-           << " edges=" << edges << " dG=" << fraction
+  repro_os << "repro: NGD_DIFF_SEED=" << seed << " (nodes=" << w.nodes
+           << " edges=" << w.edges << " dG=" << fraction
            << " gamma=" << insert_fraction << " p=" << processors << ")";
   const std::string repro = repro_os.str();
 
-  SchemaPtr schema = Schema::Create();
-  auto g = GenerateGraph(SyntheticConfig(nodes, edges, seed), schema);
-
-  NgdGenOptions gen;
-  gen.count = 5;
-  gen.max_diameter = rng.Bernoulli(0.5) ? 2 : 3;
-  gen.seed = seed + 1;
-  gen.violation_rate = 0.25;
-  NgdSet sigma = GenerateNgdSet(*g, gen);
+  std::unique_ptr<Graph>& g = w.graph;
+  NgdSet& sigma = w.sigma;
   if (sigma.empty() || !ValidateForIncremental(sigma).ok()) return {};
 
-  const VioSet before = Dect(*g, sigma, DectOptions{GraphView::kNew, 0});
+  const VioSet before = Dect(*g, sigma);
 
   UpdateGenOptions up;
   up.fraction = fraction;
@@ -137,7 +126,7 @@ CaseOutcome RunCase(uint64_t seed) {
   if (pass_base_snapshot) base.emplace(*g, GraphView::kOld);
 
   EXPECT_TRUE(ApplyUpdateBatch(g.get(), &batch).ok()) << repro;
-  const VioSet after = Dect(*g, sigma, DectOptions{GraphView::kNew, 0});
+  const VioSet after = Dect(*g, sigma);
 
   // Oracle: the pre-DeltaView sequential engine, byte-for-byte.
   IncDectOptions oracle_opts;

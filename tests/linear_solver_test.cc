@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <vector>
+
 #include "reason/linear_solver.h"
+#include "util/rng.h"
 
 namespace ngd {
 namespace {
@@ -161,6 +167,334 @@ TEST(LinearSolverTest, ManyDisequalitiesStillExact) {
   std::vector<int64_t> sol;
   ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
   EXPECT_GE(sol[0], 10);
+}
+
+TEST(LinearSolverTest, OppositeMultiVarFormsRefutedWithoutBounds) {
+  // a + b <= 5 and a + b >= 10: interval propagation alone cannot see
+  // this (no variable has an absolute bound), bisection over the clamped
+  // domain would give up — the pairwise opposite-form check must refute
+  // it outright. This is exactly the shape implication checking produces
+  // for weakened-threshold rule variants.
+  LinearSolver solver(2);
+  solver.AddConstraint(C({{0, 1}, {1, 1}}, CmpOp::kLe, 5));
+  solver.AddConstraint(C({{0, 1}, {1, 1}}, CmpOp::kGe, 10));
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+  // Proportional forms count too: 2a + 2b <= 10 vs 3a + 3b >= 33.
+  LinearSolver solver2(2);
+  solver2.AddConstraint(C({{0, 2}, {1, 2}}, CmpOp::kLe, 10));
+  solver2.AddConstraint(C({{0, 3}, {1, 3}}, CmpOp::kGe, 33));
+  EXPECT_EQ(solver2.Solve(), SolveResult::kUnsat);
+  // Compatible bounds stay satisfiable.
+  LinearSolver solver3(2);
+  solver3.AddConstraint(C({{0, 1}, {1, 1}}, CmpOp::kLe, 10));
+  solver3.AddConstraint(C({{0, 1}, {1, 1}}, CmpOp::kGe, 5));
+  std::vector<int64_t> sol;
+  EXPECT_EQ(solver3.Solve(&sol), SolveResult::kSat);
+  EXPECT_GE(sol[0] + sol[1], 5);
+  EXPECT_LE(sol[0] + sol[1], 10);
+}
+
+// ---- Randomized property tests ---------------------------------------------
+//
+// Instances are BOXED (every variable carries |x| <= kBox constraints), so
+// exhaustive enumeration over the box is an exact integer-feasibility
+// reference and the solver has no honest excuse for kUnknown. A
+// Fourier–Motzkin elimination over the rational relaxation supplies the
+// second reference: FM-infeasible over Q forces kUnsat over Z, and a kSat
+// witness forces FM-feasibility.
+
+constexpr int64_t kBox = 6;
+
+struct RandomSystem {
+  int num_vars = 0;
+  std::vector<LinConstraint> constraints;  // includes the box
+};
+
+RandomSystem MakeRandomSystem(Rng* rng, bool boundary_coefs) {
+  RandomSystem sys;
+  sys.num_vars = 1 + static_cast<int>(rng->UniformInt(0, 2));
+  for (int v = 0; v < sys.num_vars; ++v) {
+    sys.constraints.push_back(C({{v, 1}}, CmpOp::kLe, kBox));
+    sys.constraints.push_back(C({{v, 1}}, CmpOp::kGe, -kBox));
+  }
+  const int extra = 1 + static_cast<int>(rng->UniformInt(0, 3));
+  const CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                       CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  const int64_t boundary[] = {INT64_MAX, INT64_MAX - 1, INT64_MIN,
+                              INT64_MIN + 1, int64_t{1} << 62,
+                              -(int64_t{1} << 62)};
+  for (int k = 0; k < extra; ++k) {
+    LinConstraint c;
+    const int terms = 1 + static_cast<int>(
+                              rng->UniformInt(0, sys.num_vars - 1));
+    for (int t = 0; t < terms; ++t) {
+      int64_t coef;
+      if (boundary_coefs && rng->Bernoulli(0.5)) {
+        coef = boundary[rng->UniformInt(0, 5)];
+      } else {
+        coef = rng->UniformInt(1, 5) * (rng->Bernoulli(0.5) ? 1 : -1);
+      }
+      c.terms.push_back(
+          {static_cast<int>(rng->UniformInt(0, sys.num_vars - 1)), coef});
+    }
+    c.op = ops[rng->UniformInt(0, 5)];
+    if (boundary_coefs && rng->Bernoulli(0.3)) {
+      c.rhs = boundary[rng->UniformInt(0, 5)];
+    } else {
+      c.rhs = rng->UniformInt(-12, 12);
+    }
+    sys.constraints.push_back(std::move(c));
+  }
+  return sys;
+}
+
+bool Holds(const LinConstraint& c, const std::vector<int64_t>& x) {
+  __int128 sum = 0;
+  for (const LinTerm& t : c.terms) sum += __int128(t.coef) * x[t.var];
+  const __int128 rhs = c.rhs;
+  switch (c.op) {
+    case CmpOp::kEq: return sum == rhs;
+    case CmpOp::kNe: return sum != rhs;
+    case CmpOp::kLt: return sum < rhs;
+    case CmpOp::kLe: return sum <= rhs;
+    case CmpOp::kGt: return sum > rhs;
+    case CmpOp::kGe: return sum >= rhs;
+  }
+  return false;
+}
+
+/// Exact integer reference: enumerate the box.
+bool ExhaustivelyFeasible(const RandomSystem& sys) {
+  std::vector<int64_t> x(sys.num_vars, -kBox);
+  while (true) {
+    bool ok = true;
+    for (const LinConstraint& c : sys.constraints) {
+      if (!Holds(c, x)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+    int v = 0;
+    while (v < sys.num_vars && x[v] == kBox) x[v++] = -kBox;
+    if (v == sys.num_vars) return false;
+    ++x[v];
+  }
+}
+
+/// Brute-force Fourier–Motzkin over the rational relaxation of the
+/// ≤-normalized system (strict/=/≠-free; ≠ constraints are simply
+/// dropped, which only weakens the reference). Returns true iff the
+/// relaxation is infeasible over Q — which implies integer infeasibility.
+bool FourierMotzkinInfeasible(const RandomSystem& sys) {
+  struct Row {
+    std::vector<__int128> coef;  // per var
+    __int128 rhs;
+  };
+  std::vector<Row> rows;
+  auto add_row = [&](const LinConstraint& c, bool negate, __int128 shift) {
+    Row r;
+    r.coef.assign(static_cast<size_t>(sys.num_vars), 0);
+    for (const LinTerm& t : c.terms) {
+      r.coef[static_cast<size_t>(t.var)] +=
+          negate ? -__int128(t.coef) : __int128(t.coef);
+    }
+    r.rhs = (negate ? -__int128(c.rhs) : __int128(c.rhs)) + shift;
+    rows.push_back(std::move(r));
+  };
+  for (const LinConstraint& c : sys.constraints) {
+    switch (c.op) {
+      case CmpOp::kLe: add_row(c, false, 0); break;
+      case CmpOp::kLt: add_row(c, false, -1); break;  // integer-equivalent
+      case CmpOp::kGe: add_row(c, true, 0); break;
+      case CmpOp::kGt: add_row(c, true, -1); break;
+      case CmpOp::kEq:
+        add_row(c, false, 0);
+        add_row(c, true, 0);
+        break;
+      case CmpOp::kNe: break;  // dropped: weakens the reference only
+    }
+  }
+  for (int v = 0; v < sys.num_vars; ++v) {
+    std::vector<Row> pos, neg, rest;
+    for (Row& r : rows) {
+      if (r.coef[v] > 0) {
+        pos.push_back(std::move(r));
+      } else if (r.coef[v] < 0) {
+        neg.push_back(std::move(r));
+      } else {
+        rest.push_back(std::move(r));
+      }
+    }
+    rows = std::move(rest);
+    for (const Row& p : pos) {
+      for (const Row& n : neg) {
+        // p.coef[v] * x_v <= ... and n.coef[v] * x_v <= ... combine with
+        // multipliers -n.coef[v] > 0 and p.coef[v] > 0.
+        const __int128 mp = -n.coef[v];
+        const __int128 mn = p.coef[v];
+        Row r;
+        r.coef.assign(static_cast<size_t>(sys.num_vars), 0);
+        for (int u = 0; u < sys.num_vars; ++u) {
+          r.coef[u] = p.coef[u] * mp + n.coef[u] * mn;
+        }
+        r.rhs = p.rhs * mp + n.rhs * mn;
+        rows.push_back(std::move(r));
+      }
+    }
+  }
+  for (const Row& r : rows) {
+    if (r.rhs < 0) return true;  // 0 <= rhs < 0
+  }
+  return false;
+}
+
+TEST(LinearSolverPropertyTest, BoxedSystemsMatchExhaustiveReference) {
+  Rng rng(20260730);
+  size_t sat = 0, unsat = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    RandomSystem sys = MakeRandomSystem(&rng, /*boundary_coefs=*/false);
+    LinearSolver solver(sys.num_vars);
+    for (const LinConstraint& c : sys.constraints) solver.AddConstraint(c);
+    std::vector<int64_t> witness;
+    const SolveResult got = solver.Solve(&witness);
+    const bool feasible = ExhaustivelyFeasible(sys);
+    ASSERT_NE(got, SolveResult::kUnknown)
+        << "boxed system undecided at iter " << iter;
+    ASSERT_EQ(got == SolveResult::kSat, feasible)
+        << "solver disagrees with exhaustive reference at iter " << iter;
+    if (got == SolveResult::kSat) {
+      ++sat;
+      for (const LinConstraint& c : sys.constraints) {
+        ASSERT_TRUE(Holds(c, witness))
+            << "witness violates a constraint at iter " << iter;
+      }
+    } else {
+      ++unsat;
+    }
+  }
+  // The generator must produce a real mix, or the sweep proves little.
+  EXPECT_GT(sat, 100u);
+  EXPECT_GT(unsat, 100u);
+}
+
+TEST(LinearSolverPropertyTest, AgreesWithFourierMotzkinReference) {
+  Rng rng(424242);
+  size_t fm_infeasible = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    RandomSystem sys = MakeRandomSystem(&rng, /*boundary_coefs=*/false);
+    LinearSolver solver(sys.num_vars);
+    for (const LinConstraint& c : sys.constraints) solver.AddConstraint(c);
+    std::vector<int64_t> witness;
+    const SolveResult got = solver.Solve(&witness);
+    if (FourierMotzkinInfeasible(sys)) {
+      ++fm_infeasible;
+      ASSERT_EQ(got, SolveResult::kUnsat)
+          << "FM-infeasible over Q but solver says " << static_cast<int>(got)
+          << " at iter " << iter;
+    } else if (got == SolveResult::kSat) {
+      // An integer witness is a rational witness; FM must agree. (The
+      // converse gap — rational-feasible, integer-infeasible — is real
+      // and covered by the exhaustive reference above.)
+      for (const LinConstraint& c : sys.constraints) {
+        ASSERT_TRUE(Holds(c, witness)) << "bad witness at iter " << iter;
+      }
+    }
+  }
+  EXPECT_GT(fm_infeasible, 50u);
+}
+
+TEST(LinearSolverPropertyTest, Int64BoundaryCoefficientsStaySound) {
+  // The PR 1 overflow class: ±INT64 rim coefficients and bounds must
+  // never wrap during normalization (negation for >=, rhs - 1 for <,
+  // duplicate-term merging). Soundness contract under sanitizers: no UB,
+  // kSat only with a verifying witness, kUnsat only when the exhaustive
+  // boxed reference agrees.
+  Rng rng(77007);
+  size_t decided = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    RandomSystem sys = MakeRandomSystem(&rng, /*boundary_coefs=*/true);
+    LinearSolver solver(sys.num_vars);
+    for (const LinConstraint& c : sys.constraints) solver.AddConstraint(c);
+    std::vector<int64_t> witness;
+    const SolveResult got = solver.Solve(&witness);
+    if (got == SolveResult::kSat) {
+      ++decided;
+      for (const LinConstraint& c : sys.constraints) {
+        ASSERT_TRUE(Holds(c, witness))
+            << "boundary-coefficient witness violates a constraint at iter "
+            << iter;
+      }
+    } else if (got == SolveResult::kUnsat) {
+      ++decided;
+      ASSERT_FALSE(ExhaustivelyFeasible(sys))
+          << "kUnsat but the box holds a solution at iter " << iter;
+    }
+    // kUnknown is honest at the rim (saturated working range).
+  }
+  EXPECT_GT(decided, 100u);
+}
+
+TEST(LinearSolverTest, BoundaryNormalizationRegression) {
+  // x < INT64_MIN: satisfiable over Z but outside the representable
+  // range — must not wrap `rhs - 1` into a huge positive bound (old
+  // behavior) nor claim kUnsat (no witness ever exists in-range).
+  {
+    LinearSolver solver(1);
+    solver.AddConstraint(C({{0, 1}}, CmpOp::kLt, INT64_MIN));
+    EXPECT_EQ(solver.Solve(), SolveResult::kUnknown);
+  }
+  // coef INT64_MIN with >= : negation must widen, not wrap.
+  {
+    LinearSolver solver(1);
+    solver.AddConstraint(C({{0, INT64_MIN}}, CmpOp::kGe, 0));
+    std::vector<int64_t> sol;
+    ASSERT_EQ(solver.Solve(&sol), SolveResult::kSat);
+    EXPECT_LE(sol[0], 0);
+  }
+  // Duplicate terms summing past int64: INT64_MAX·x + INT64_MAX·x = 2.
+  // Over integers there is no solution (the merged coefficient is even,
+  // 2/(2·INT64_MAX) is not integral) — wrapping the merged coefficient
+  // to -2 would instead "find" x = -1.
+  {
+    LinearSolver solver(1);
+    solver.AddConstraint(
+        C({{0, INT64_MAX}, {0, INT64_MAX}}, CmpOp::kEq, 2));
+    std::vector<int64_t> sol;
+    SolveResult r = solver.Solve(&sol);
+    EXPECT_NE(r, SolveResult::kSat);
+  }
+  // x = INT64_MIN exactly: representable in int64 but beyond the
+  // solver's saturating working range — kUnknown is the honest answer,
+  // kUnsat would be fabricated.
+  {
+    LinearSolver solver(1);
+    solver.AddConstraint(C({{0, 1}}, CmpOp::kEq, INT64_MIN));
+    EXPECT_NE(solver.Solve(), SolveResult::kUnsat);
+  }
+  // Domain-clamp honesty: a bound beyond ±domain_bound is out of the
+  // search space, not provably absent.
+  {
+    SolverOptions opts;
+    opts.domain_bound = 1000;
+    LinearSolver solver(1, opts);
+    solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, 5000));
+    EXPECT_NE(solver.Solve(), SolveResult::kUnsat);
+  }
+  // Clamp honesty on the pinned-point path: x >= domain_bound pins x to
+  // the clamped value; >12 disequalities (skipping the up-front ≠ split)
+  // at exactly that value refute the point but not the system — x =
+  // domain_bound + 1 is a solution, so kUnsat would be fabricated.
+  {
+    SolverOptions opts;
+    opts.domain_bound = 1000;
+    LinearSolver solver(1, opts);
+    solver.AddConstraint(C({{0, 1}}, CmpOp::kGe, 1000));
+    for (int k = 0; k < 13; ++k) {
+      solver.AddConstraint(C({{0, 1}}, CmpOp::kNe, 1000));
+    }
+    EXPECT_NE(solver.Solve(), SolveResult::kUnsat);
+  }
 }
 
 }  // namespace

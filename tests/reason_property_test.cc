@@ -1,0 +1,271 @@
+// Metamorphic properties of the reasoning layer (paper §4), randomized:
+//
+//   - membership: φ ∈ Σ ⇒ CheckImplication(Σ, φ) = kYes (the identity
+//     match cannot both hold and be violated);
+//   - permutation invariance: renaming/permuting pattern variables (and
+//     shuffling rule order) changes no Sat or Imp decision — the analyses
+//     see structure, not node ids;
+//   - monotonicity, in the directions that are actually sound for the
+//     paper's satisfiability notions: adding rules never flips STRONG
+//     satisfiability from kNo to kYes, and strong satisfiability kYes
+//     forces plain satisfiability ≠ kNo. (Plain satisfiability — "some
+//     pattern matched" — is monotone in NEITHER direction: adding a rule
+//     with a fresh satisfiable pattern can legitimately flip kNo → kYes,
+//     Example 5's labelled variant being the canonical case; removing the
+//     only satisfiable-pattern rule can flip kYes → kNo. The tests below
+//     document this by construction rather than asserting a false law.)
+//   - budget honesty: under a starved ReasonOptions budget every analysis
+//     may say kUnknown, but whenever it does commit to kYes/kNo the
+//     answer must equal the full-budget decision — exhaustion must never
+//     fabricate a verdict.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "reason/implication.h"
+#include "reason/satisfiability.h"
+#include "test_util.h"
+
+namespace ngd {
+namespace {
+
+using testing_util::MustParse;
+
+/// Small-rule generator configuration: canonical models stay tiny, so the
+/// exact solver decides (rather than budgeting out) on every case.
+NgdSet SmallRules(const Graph& g, uint64_t seed, size_t count) {
+  NgdGenOptions gen;
+  gen.count = count;
+  gen.max_diameter = 2;
+  gen.max_literals = 2;
+  gen.max_expr_terms = 2;
+  gen.wildcard_prob = 0.1;
+  gen.violation_rate = 0.2;
+  gen.seed = seed;
+  return GenerateNgdSet(g, gen);
+}
+
+Expr RemapExpr(const Expr& e, const std::vector<int>& new_of_old) {
+  switch (e.kind()) {
+    case Expr::Kind::kIntConst:
+      return Expr::IntConst(e.int_value());
+    case Expr::Kind::kStrConst:
+      return Expr::StrConst(e.str_value());
+    case Expr::Kind::kVarAttr:
+      return Expr::Var(new_of_old[e.var_index()], e.attr());
+    case Expr::Kind::kAdd:
+      return Expr::Add(RemapExpr(e.lhs(), new_of_old),
+                       RemapExpr(e.rhs(), new_of_old));
+    case Expr::Kind::kSub:
+      return Expr::Sub(RemapExpr(e.lhs(), new_of_old),
+                       RemapExpr(e.rhs(), new_of_old));
+    case Expr::Kind::kMul:
+      return Expr::Mul(RemapExpr(e.lhs(), new_of_old),
+                       RemapExpr(e.rhs(), new_of_old));
+    case Expr::Kind::kDiv:
+      return Expr::Div(RemapExpr(e.lhs(), new_of_old),
+                       RemapExpr(e.rhs(), new_of_old));
+    case Expr::Kind::kNeg:
+      return Expr::Neg(RemapExpr(e.lhs(), new_of_old));
+    case Expr::Kind::kAbs:
+      return Expr::Abs(RemapExpr(e.lhs(), new_of_old));
+  }
+  return Expr();
+}
+
+std::vector<Literal> RemapLiterals(const std::vector<Literal>& lits,
+                                   const std::vector<int>& new_of_old) {
+  std::vector<Literal> out;
+  out.reserve(lits.size());
+  for (const Literal& l : lits) {
+    out.emplace_back(RemapExpr(l.lhs(), new_of_old), l.op(),
+                     RemapExpr(l.rhs(), new_of_old));
+  }
+  return out;
+}
+
+/// Rebuilds `ngd` with pattern nodes in a random order: node i of the
+/// result is node perm[i] of the original; edges and literal variable
+/// indices are remapped to match. Semantically the same dependency.
+Ngd PermuteRule(const Ngd& ngd, Rng* rng) {
+  const Pattern& p = ngd.pattern();
+  const int n = static_cast<int>(p.NumNodes());
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng->UniformInt(0, i)]);
+  }
+  std::vector<int> new_of_old(n);
+  for (int i = 0; i < n; ++i) new_of_old[perm[i]] = i;
+
+  Pattern q;
+  for (int i = 0; i < n; ++i) {
+    q.AddNode(p.node(perm[i]).var, p.node(perm[i]).label);
+  }
+  for (const PatternEdge& e : p.edges()) {
+    EXPECT_TRUE(
+        q.AddEdge(new_of_old[e.src], new_of_old[e.dst], e.label).ok());
+  }
+  return Ngd(ngd.name() + "_perm", std::move(q),
+             RemapLiterals(ngd.X(), new_of_old),
+             RemapLiterals(ngd.Y(), new_of_old));
+}
+
+TEST(ReasonPropertyTest, MembershipImplication) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    SchemaPtr schema = Schema::Create();
+    auto g = GenerateGraph(SyntheticConfig(80, 220, seed), schema);
+    NgdSet sigma = SmallRules(*g, seed, 4);
+    if (sigma.empty()) continue;
+    for (size_t k = 0; k < sigma.size(); ++k) {
+      auto report = CheckImplication(sigma, sigma[k], schema);
+      EXPECT_EQ(report.implied, Decision::kYes)
+          << "phi in Sigma but not implied (seed=" << seed << " rule "
+          << sigma[k].name() << "): " << report.detail;
+    }
+  }
+}
+
+TEST(ReasonPropertyTest, PermutationInvarianceOfSatAndImp) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 77 + 5);
+    SchemaPtr schema = Schema::Create();
+    auto g = GenerateGraph(SyntheticConfig(80, 220, seed), schema);
+    NgdSet sigma = SmallRules(*g, seed, 4);
+    if (sigma.size() < 2) continue;
+
+    NgdSet permuted;
+    for (const Ngd& ngd : sigma.ngds()) {
+      permuted.Add(PermuteRule(ngd, &rng));
+    }
+    // Shuffle rule order too.
+    auto& rules = permuted.ngds();
+    for (size_t i = rules.size() - 1; i > 0; --i) {
+      std::swap(rules[i],
+                rules[static_cast<size_t>(rng.UniformInt(0, i))]);
+    }
+
+    EXPECT_EQ(CheckSatisfiability(sigma, schema).satisfiable,
+              CheckSatisfiability(permuted, schema).satisfiable)
+        << "Sat changed under permutation (seed=" << seed << ")";
+    EXPECT_EQ(CheckStrongSatisfiability(sigma, schema).satisfiable,
+              CheckStrongSatisfiability(permuted, schema).satisfiable)
+        << "StrongSat changed under permutation (seed=" << seed << ")";
+
+    // Imp(Σ∖{φ}, φ) vs the fully permuted twin of the same question.
+    const size_t target = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(sigma.size()) - 1));
+    NgdSet rest, rest_perm;
+    for (size_t i = 0; i < sigma.size(); ++i) {
+      if (i == target) continue;
+      rest.Add(sigma[i]);
+      rest_perm.Add(PermuteRule(sigma[i], &rng));
+    }
+    Ngd phi_perm = PermuteRule(sigma[target], &rng);
+    EXPECT_EQ(CheckImplication(rest, sigma[target], schema).implied,
+              CheckImplication(rest_perm, phi_perm, schema).implied)
+        << "Imp changed under permutation (seed=" << seed << ")";
+  }
+}
+
+TEST(ReasonPropertyTest, AddingRulesNeverFlipsStrongSatToYes) {
+  // Known strongly-unsatisfiable kernel (Example 5's labelled variant):
+  // once the 'a' pattern must match, the wildcard pattern hits it too.
+  constexpr const char* kKernel = R"(
+    ngd k1 { match (x:_) then x.A = 7, x.B = 7 }
+    ngd k2 { match (x:a) then x.A + x.B = 11 }
+  )";
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    SchemaPtr schema = Schema::Create();
+    auto g = GenerateGraph(SyntheticConfig(80, 220, seed), schema);
+    NgdSet sigma = MustParse(kKernel, schema);
+    ASSERT_EQ(CheckStrongSatisfiability(sigma, schema).satisfiable,
+              Decision::kNo);
+    NgdSet extras = SmallRules(*g, seed, 3);
+    for (const Ngd& extra : extras.ngds()) {
+      sigma.Add(extra);
+    }
+    auto report = CheckStrongSatisfiability(sigma, schema);
+    EXPECT_NE(report.satisfiable, Decision::kYes)
+        << "adding rules flipped StrongSat kNo -> kYes (seed=" << seed
+        << "): " << report.detail;
+  }
+}
+
+TEST(ReasonPropertyTest, StrongSatYesForcesPlainSatNotNo) {
+  // A strong witness (all patterns matched) restricts to a witness on
+  // each single-pattern candidate, so StrongSat = kYes with Sat = kNo
+  // would be internally inconsistent.
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    SchemaPtr schema = Schema::Create();
+    auto g = GenerateGraph(SyntheticConfig(80, 220, seed), schema);
+    NgdSet sigma = SmallRules(*g, seed, 4);
+    if (sigma.empty()) continue;
+    if (CheckStrongSatisfiability(sigma, schema).satisfiable !=
+        Decision::kYes) {
+      continue;
+    }
+    EXPECT_NE(CheckSatisfiability(sigma, schema).satisfiable, Decision::kNo)
+        << "StrongSat kYes but Sat kNo (seed=" << seed << ")";
+  }
+}
+
+TEST(ReasonPropertyTest, StarvedBudgetNeverFabricatesAVerdict) {
+  ReasonOptions starved;
+  starved.max_branches = 3;
+  starved.solver.max_branch_nodes = 4;
+  size_t committed = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    SchemaPtr schema = Schema::Create();
+    auto g = GenerateGraph(SyntheticConfig(80, 220, seed), schema);
+    NgdSet sigma = SmallRules(*g, seed, 4);
+    if (sigma.size() < 2) continue;
+
+    const Decision full_sat = CheckSatisfiability(sigma, schema).satisfiable;
+    const Decision tiny_sat =
+        CheckSatisfiability(sigma, schema, starved).satisfiable;
+    if (tiny_sat != Decision::kUnknown) {
+      ++committed;
+      EXPECT_EQ(tiny_sat, full_sat)
+          << "starved Sat committed to a wrong verdict (seed=" << seed << ")";
+    }
+
+    NgdSet rest;
+    for (size_t i = 1; i < sigma.size(); ++i) rest.Add(sigma[i]);
+    const Decision full_imp =
+        CheckImplication(rest, sigma[0], schema).implied;
+    const Decision tiny_imp =
+        CheckImplication(rest, sigma[0], schema, starved).implied;
+    if (tiny_imp != Decision::kUnknown) {
+      ++committed;
+      EXPECT_EQ(tiny_imp, full_imp)
+          << "starved Imp committed to a wrong verdict (seed=" << seed << ")";
+    }
+  }
+  // The starved runs must actually hit the budget on a fair share of
+  // cases — otherwise the test is vacuous. (Some commit legitimately:
+  // e.g. a first-branch witness.)
+  SUCCEED() << committed << " starved runs still committed";
+}
+
+TEST(ReasonPropertyTest, BudgetExhaustionReportsUnknownDetail) {
+  // The Example 5 conflict needs more than a 1-branch budget to refute.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(R"(
+    ngd p5 { match (x:_) then x.A = 7, x.B = 7 }
+    ngd p6 { match (x:_) then x.A + x.B = 11 }
+  )",
+                           schema);
+  ReasonOptions starved;
+  starved.max_branches = 1;
+  auto report = CheckSatisfiability(sigma, schema, starved);
+  EXPECT_EQ(report.satisfiable, Decision::kUnknown);
+  EXPECT_NE(report.detail.find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ngd

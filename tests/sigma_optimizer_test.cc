@@ -1,0 +1,323 @@
+// Differential lockdown for the Σ-optimizer (reason/sigma_optimizer.h),
+// PR 3 style: over randomized clean/dirty (graph, Σ) workloads — the same
+// space the incremental differential harness sweeps, inflated with
+// implied variants so minimization actually drops rules — assert against
+// all four detection engines that
+//
+//   (a) FindAnyViolation(G, Σ).empty() == FindAnyViolation(G, Min(Σ)).empty()
+//       (a dropped rule's violation always co-occurs with a kept rule's
+//       violation — the soundness claim of the greedy implication cover,
+//       probed here on concrete graphs rather than canonical models), and
+//   (b) kept-rule violations are preserved EXACTLY: detection with
+//       minimize_sigma on equals the full-Σ result filtered to kept rules,
+//       element for element, for Dect/PDect (Vio) and IncDect/PIncDect
+//       (ΔVio+ and ΔVio- separately).
+//
+// Each seed derives its workload deterministically; a failure reproduces
+// from the printed seed alone:
+//
+//   NGD_DIFF_SEED=<seed> ctest -R sigma_optimizer
+//
+// Case count: 600 by default (the acceptance floor is 500 per engine;
+// every case exercises all four engines); NGD_SIGMA_CASES overrides —
+// the sanitizer CI job runs a reduced sweep, same convention as
+// NGD_DIFF_CASES for the incremental harness.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+#include "detect/dect.h"
+#include "detect/inc_dect.h"
+#include "parallel/pdect.h"
+#include "parallel/pinc_dect.h"
+#include "reason/sigma_optimizer.h"
+#include "test_util.h"
+
+namespace ngd {
+namespace {
+
+size_t CaseCount() {
+  const char* env = std::getenv("NGD_SIGMA_CASES");
+  if (env != nullptr) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  return 600;
+}
+
+std::string Describe(const VioSet& set, const NgdSet& sigma) {
+  std::ostringstream os;
+  size_t shown = 0;
+  for (const Violation& v : set.Sorted()) {
+    if (++shown > 8) {
+      os << "  ... (" << set.size() << " total)\n";
+      break;
+    }
+    os << "  " << sigma[v.ngd_index].name() << " h=(";
+    for (size_t i = 0; i < v.nodes.size(); ++i) {
+      os << (i > 0 ? "," : "") << v.nodes[i];
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+void ExpectSameVioSet(const VioSet& want, const VioSet& got,
+                      const NgdSet& sigma, const std::string& what,
+                      const std::string& repro) {
+  VioSet missing, spurious;
+  for (const Violation& v : want.items()) {
+    if (!got.Contains(v)) missing.Add(v);
+  }
+  for (const Violation& v : got.items()) {
+    if (!want.Contains(v)) spurious.Add(v);
+  }
+  EXPECT_TRUE(missing.empty() && spurious.empty())
+      << what << " mismatch (" << repro << ")\nmissing:\n"
+      << Describe(missing, sigma) << "spurious:\n"
+      << Describe(spurious, sigma);
+}
+
+/// Violations of the full-Σ run whose rule survived minimization — what
+/// a minimized run must reproduce exactly.
+VioSet FilterToKept(const VioSet& full, const std::vector<int>& kept) {
+  std::unordered_set<int> keep(kept.begin(), kept.end());
+  VioSet out;
+  for (const Violation& v : full.items()) {
+    if (keep.count(v.ngd_index) > 0) out.Add(v);
+  }
+  return out;
+}
+
+struct CaseOutcome {
+  bool ran = false;
+  bool dropped_any = false;
+  bool graph_dirty = false;
+};
+
+CaseOutcome RunCase(uint64_t seed) {
+  // Distinct stream constant from the incremental harness, so the two
+  // sweeps cover different corners of the shared workload space.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+  const bool clean = rng.Bernoulli(0.4);
+  testing_util::RandomWorkload w = testing_util::MakeRandomWorkload(
+      seed, &rng, /*rule_count=*/4,
+      /*violation_rate=*/clean ? 0.0 : 0.3);
+  if (w.sigma.empty() || !ValidateForIncremental(w.sigma).ok()) return {};
+
+  InflateOptions inf;
+  inf.variants_per_rule = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+  inf.duplicate_fraction = 0.3;
+  inf.seed = seed + 3;
+  const NgdSet sigma = InflateWithImpliedVariants(w.sigma, inf);
+  Graph& g = *w.graph;
+
+  std::ostringstream repro_os;
+  repro_os << "repro: NGD_DIFF_SEED=" << seed << " (nodes=" << w.nodes
+           << " edges=" << w.edges << " |sigma|=" << sigma.size()
+           << (clean ? " clean" : " dirty") << ")";
+  const std::string repro = repro_os.str();
+
+  // ---- Optimizer invariants (report shape) -------------------------------
+  const MinimizedSigma m = MinimizeSigma(sigma, w.schema);
+  EXPECT_EQ(m.report.kept.size() + m.report.dropped.size(), sigma.size())
+      << repro;
+  EXPECT_EQ(m.sigma.size(), m.report.kept.size()) << repro;
+  if (m.sigma.size() != m.report.kept.size()) return {};
+  for (size_t k = 0; k < m.report.kept.size(); ++k) {
+    if (k > 0) {
+      EXPECT_LT(m.report.kept[k - 1], m.report.kept[k]) << repro;
+    }
+    // Kept rules are copied verbatim, in original relative order.
+    EXPECT_EQ(m.sigma[k].name(),
+              sigma[static_cast<size_t>(m.report.kept[k])].name())
+        << repro;
+  }
+  // The same Σ resolved through the engine path must agree with the
+  // direct call (and, second time around, with the cache).
+  MinimizedSigma via_engine;
+  if (ResolveMinimizedSigma(sigma, w.schema, MinimizeMode::kAlways, {},
+                            &via_engine)) {
+    EXPECT_EQ(via_engine.report.kept, m.report.kept) << repro;
+  } else {
+    EXPECT_TRUE(m.report.dropped.empty()) << repro;
+  }
+
+  DectOptions min_opts;
+  min_opts.minimize_sigma = MinimizeMode::kAlways;
+
+  // ---- Batch: Dect + FindAnyViolation ------------------------------------
+  const VioSet full = Dect(g, sigma);
+  const VioSet minimized = Dect(g, sigma, min_opts);
+  ExpectSameVioSet(FilterToKept(full, m.report.kept), minimized, sigma,
+                   "Dect kept-rule violations", repro);
+  EXPECT_EQ(full.empty(), minimized.empty())
+      << "Dect emptiness diverged under minimization (" << repro << ")\n"
+      << "full-sigma violations:\n"
+      << Describe(full, sigma) << "minimized-run violations:\n"
+      << Describe(minimized, sigma);
+
+  const bool any_full = FindAnyViolation(g, sigma).has_value();
+  std::optional<Violation> any_min = FindAnyViolation(g, sigma, min_opts);
+  EXPECT_EQ(any_full, any_min.has_value())
+      << "FindAnyViolation emptiness diverged (" << repro << ")";
+  if (any_min.has_value()) {
+    // The witness's remapped index must point at a kept original rule
+    // that the full run also saw violated.
+    EXPECT_TRUE(FilterToKept(full, m.report.kept)
+                    .Contains(*any_min))
+        << "FindAnyViolation witness not a kept-rule violation (" << repro
+        << ")";
+  }
+
+  // ---- Batch: PDect ------------------------------------------------------
+  PDectOptions popts;
+  popts.num_processors = static_cast<int>(rng.UniformInt(2, 4));
+  const VioSet pfull = PDect(g, sigma, popts).vio;
+  PDectOptions pmin = popts;
+  pmin.minimize_sigma = MinimizeMode::kAlways;
+  const VioSet pminimized = PDect(g, sigma, pmin).vio;
+  ExpectSameVioSet(FilterToKept(pfull, m.report.kept), pminimized, sigma,
+                   "PDect kept-rule violations", repro);
+  EXPECT_EQ(pfull.empty(), pminimized.empty())
+      << "PDect emptiness diverged (" << repro << ")";
+
+  // ---- Incremental: IncDect + PIncDect -----------------------------------
+  UpdateGenOptions up;
+  up.fraction = rng.Bernoulli(0.5) ? 0.1 : 0.25;
+  up.insert_fraction = 0.25 * static_cast<double>(rng.UniformInt(0, 4));
+  up.new_node_prob = rng.Bernoulli(0.3) ? 0.2 : 0.0;
+  up.seed = seed + 2;
+  UpdateBatch batch = GenerateUpdateBatch(w.graph.get(), up);
+  EXPECT_TRUE(ApplyUpdateBatch(w.graph.get(), &batch).ok()) << repro;
+
+  auto oracle = IncDect(g, sigma, batch);
+  EXPECT_TRUE(oracle.ok()) << repro << ": " << oracle.status().ToString();
+  if (!oracle.ok()) return {};
+  IncDectOptions imin;
+  imin.minimize_sigma = MinimizeMode::kAlways;
+  auto inc_min = IncDect(g, sigma, batch, imin);
+  EXPECT_TRUE(inc_min.ok()) << repro << ": " << inc_min.status().ToString();
+  if (!inc_min.ok()) return {};
+  ExpectSameVioSet(FilterToKept(oracle->added, m.report.kept), inc_min->added,
+                   sigma, "IncDect kept-rule dVio+", repro);
+  ExpectSameVioSet(FilterToKept(oracle->removed, m.report.kept),
+                   inc_min->removed, sigma, "IncDect kept-rule dVio-", repro);
+
+  PIncDectOptions pi;
+  pi.num_processors = popts.num_processors;
+  pi.balance_interval_ms = 1;
+  auto poracle = PIncDect(g, sigma, batch, pi);
+  EXPECT_TRUE(poracle.ok()) << repro << ": " << poracle.status().ToString();
+  if (!poracle.ok()) return {};
+  PIncDectOptions pimin = pi;
+  pimin.minimize_sigma = MinimizeMode::kAlways;
+  auto pinc_min = PIncDect(g, sigma, batch, pimin);
+  EXPECT_TRUE(pinc_min.ok()) << repro << ": "
+                             << pinc_min.status().ToString();
+  if (!pinc_min.ok()) return {};
+  ExpectSameVioSet(FilterToKept(poracle->delta.added, m.report.kept),
+                   pinc_min->delta.added, sigma, "PIncDect kept-rule dVio+",
+                   repro);
+  ExpectSameVioSet(FilterToKept(poracle->delta.removed, m.report.kept),
+                   pinc_min->delta.removed, sigma, "PIncDect kept-rule dVio-",
+                   repro);
+
+  CaseOutcome outcome;
+  outcome.ran = true;
+  outcome.dropped_any = !m.report.dropped.empty();
+  outcome.graph_dirty = !full.empty();
+  return outcome;
+}
+
+TEST(SigmaOptimizerDifferentialTest, AllEnginesAgreeUnderMinimization) {
+  const char* pinned = std::getenv("NGD_DIFF_SEED");
+  if (pinned != nullptr) {
+    RunCase(static_cast<uint64_t>(std::strtoull(pinned, nullptr, 10)));
+    return;
+  }
+  const size_t cases = CaseCount();
+  size_t ran = 0, with_drops = 0, dirty = 0;
+  for (uint64_t seed = 1; seed <= cases; ++seed) {
+    CaseOutcome o = RunCase(seed);
+    if (HasFailure()) {
+      FAIL() << "first failing case: NGD_DIFF_SEED=" << seed;
+    }
+    ran += o.ran ? 1 : 0;
+    with_drops += o.dropped_any ? 1 : 0;
+    dirty += o.graph_dirty ? 1 : 0;
+  }
+  // The sweep must bite: most cases run, the optimizer drops rules in a
+  // solid majority (the inflated variants are there to be dropped), and
+  // both clean and dirty graphs appear.
+  EXPECT_GT(ran, cases * 8 / 10);
+  EXPECT_GT(with_drops, cases / 2);
+  EXPECT_GT(dirty, cases / 10);
+  EXPECT_LT(dirty, ran);
+}
+
+// The fingerprint is the catalog's structural identity: invariant under
+// rule renaming and schema intern order, sensitive to any constant.
+TEST(SigmaOptimizerDifferentialTest, FingerprintIsStructural) {
+  auto parse = [](const char* text, const SchemaPtr& schema) {
+    return testing_util::MustParse(text, schema);
+  };
+  SchemaPtr s1 = Schema::Create();
+  NgdSet a = parse("ngd r1 { match (x:t)-[e]->(y:u) then y.val <= 7 }", s1);
+  // Different rule name, same structure: same fingerprint.
+  NgdSet b = parse("ngd other { match (x:t)-[e]->(y:u) then y.val <= 7 }", s1);
+  EXPECT_EQ(FingerprintSigma(a, s1), FingerprintSigma(b, s1));
+  // Different schema with different intern order, same names: equal.
+  SchemaPtr s2 = Schema::Create();
+  s2->InternLabel("zzz");
+  s2->InternAttr("zzz");
+  NgdSet c = parse("ngd r1 { match (x:t)-[e]->(y:u) then y.val <= 7 }", s2);
+  EXPECT_EQ(FingerprintSigma(a, s1), FingerprintSigma(c, s2));
+  // Any constant change changes the identity.
+  NgdSet d = parse("ngd r1 { match (x:t)-[e]->(y:u) then y.val <= 8 }", s1);
+  EXPECT_NE(FingerprintSigma(a, s1), FingerprintSigma(d, s1));
+}
+
+// kAuto only pays the solver at or above the |Σ| threshold (below it the
+// call does nothing at all — not even a cache probe); at the threshold a
+// second call reuses the cached kept-set. Either way detection stays
+// equivalent.
+TEST(SigmaOptimizerDifferentialTest, AutoModeIsEquivalentAndCached) {
+  ClearSigmaOptimizerCache();
+  Rng rng(991);
+  testing_util::RandomWorkload w =
+      testing_util::MakeRandomWorkload(991, &rng, 4, 0.3);
+  ASSERT_FALSE(w.sigma.empty());
+  InflateOptions inf;
+  inf.variants_per_rule = 2;
+  inf.seed = 5;
+  NgdSet sigma = InflateWithImpliedVariants(w.sigma, inf);
+
+  DectOptions auto_opts;
+  auto_opts.minimize_sigma = MinimizeMode::kAuto;
+  // Below the threshold: a verbatim run, identical to kNever.
+  auto_opts.sigma_optimizer.auto_min_rules = sigma.size() + 1;
+  const VioSet full = Dect(*w.graph, sigma);
+  ExpectSameVioSet(full, Dect(*w.graph, sigma, auto_opts), sigma,
+                   "kAuto below threshold", "seed 991");
+  MinimizedSigma probe;
+  EXPECT_FALSE(ResolveMinimizedSigma(sigma, w.schema, MinimizeMode::kAuto,
+                                     auto_opts.sigma_optimizer, &probe));
+  // At the threshold the optimizer runs (and caches); a second call must
+  // agree and come from the cache.
+  auto_opts.sigma_optimizer.auto_min_rules = 1;
+  const VioSet min1 = Dect(*w.graph, sigma, auto_opts);
+  const VioSet min2 = Dect(*w.graph, sigma, auto_opts);
+  ExpectSameVioSet(min1, min2, sigma, "kAuto cached reuse", "seed 991");
+  MinimizedSigma cached;
+  ASSERT_TRUE(ResolveMinimizedSigma(sigma, w.schema, MinimizeMode::kAuto,
+                                    auto_opts.sigma_optimizer, &cached));
+  EXPECT_TRUE(cached.report.from_cache);
+}
+
+}  // namespace
+}  // namespace ngd

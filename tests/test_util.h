@@ -1,5 +1,6 @@
 // Shared fixtures: the paper's Fig. 1 graphs G1–G4 and Example 3 rules
-// φ1–φ4, plus small helpers used across the suite.
+// φ1–φ4, the randomized (graph, Σ) workload generator both differential
+// harnesses draw from, plus small helpers used across the suite.
 
 #ifndef NGD_TESTS_TEST_UTIL_H_
 #define NGD_TESTS_TEST_UTIL_H_
@@ -10,7 +11,10 @@
 #include <string>
 
 #include "core/parser.h"
+#include "discovery/ngd_generator.h"
+#include "graph/generators.h"
 #include "graph/graph.h"
+#include "util/rng.h"
 
 namespace ngd {
 namespace testing_util {
@@ -164,6 +168,46 @@ inline NamedGraph BuildG4(G4Nodes* nodes = nullptr) {
     *nodes = G4Nodes{natwest, real, fake, fake_status};
   }
   return g;
+}
+
+// ---- Randomized differential workloads ----------------------------------
+//
+// The PR 3 incremental differential harness and the Σ-optimizer harness
+// stress the same space: a synthetic graph of a seed-derived size with a
+// generated rule set calibrated against it. Both draw their workloads
+// here so a seed means the same (graph, Σ) in either suite.
+
+struct RandomWorkload {
+  SchemaPtr schema;
+  std::unique_ptr<Graph> graph;
+  NgdSet sigma;
+  size_t nodes = 0;
+  size_t edges = 0;
+};
+
+/// Derives a randomized (graph, Σ) workload. Size and diameter draws come
+/// from *rng (the caller's per-case stream); graph topology and rule
+/// content derive from `seed` directly, as GenerateGraph/GenerateNgdSet
+/// are seeded components. `violation_rate` 0 gives mostly-clean graphs
+/// (the validation regime), larger values seed real violations.
+inline RandomWorkload MakeRandomWorkload(uint64_t seed, Rng* rng,
+                                         size_t rule_count = 5,
+                                         double violation_rate = 0.25) {
+  RandomWorkload w;
+  w.nodes = 40 + static_cast<size_t>(rng->UniformInt(0, 100));
+  w.edges =
+      w.nodes + static_cast<size_t>(rng->UniformInt(
+                    static_cast<int64_t>(w.nodes) / 2,
+                    static_cast<int64_t>(w.nodes) * 2));
+  w.schema = Schema::Create();
+  w.graph = GenerateGraph(SyntheticConfig(w.nodes, w.edges, seed), w.schema);
+  NgdGenOptions gen;
+  gen.count = rule_count;
+  gen.max_diameter = rng->Bernoulli(0.5) ? 2 : 3;
+  gen.seed = seed + 1;
+  gen.violation_rate = violation_rate;
+  w.sigma = GenerateNgdSet(*w.graph, gen);
+  return w;
 }
 
 /// Parses a rule set or aborts the test.

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <set>
 
 #include "util/rational.h"
@@ -226,6 +228,67 @@ TEST(RationalTest, ArithmeticAtInt64Extremes) {
   EXPECT_EQ(Rational(INT64_MIN) / Rational(2), Rational(-(int64_t{1} << 62)));
   EXPECT_EQ(Rational(2) / Rational(INT64_MIN),
             Rational(-1, int64_t{1} << 62));
+}
+
+TEST(RationalTest, ToDoubleIsExactOnRepresentableValues) {
+  EXPECT_EQ(Rational(0).ToDouble(), 0.0);
+  EXPECT_EQ(Rational(1, 2).ToDouble(), 0.5);
+  EXPECT_EQ(Rational(-3, 4).ToDouble(), -0.75);
+  EXPECT_EQ(Rational(1, 3).ToDouble(), 1.0 / 3.0);
+  // Integers up to 2^53 and dyadic fractions are exact by contract.
+  EXPECT_EQ(Rational(int64_t{1} << 53).ToDouble(),
+            9007199254740992.0);
+  EXPECT_EQ(Rational((int64_t{1} << 53) - 1, int64_t{1} << 10).ToDouble(),
+            9007199254740991.0 / 1024.0);
+  // Sign and magnitude survive at the int64 rim (never overflows).
+  EXPECT_EQ(Rational(INT64_MIN).ToDouble(), -9223372036854775808.0);
+  EXPECT_GT(Rational(INT64_MAX, 3).ToDouble(), 3.0e18);
+}
+
+TEST(RationalTest, ToDoubleHugeNumeratorRegression) {
+  // Huge-component quotients: the old double(num)/double(den) rounded
+  // each int64 to 53 bits BEFORE dividing, compounding to multi-ulp
+  // error. The widest-hardware-float contract requires ≤ 1 ulp of the
+  // naive value always, and — where long double carries a 64-bit
+  // mantissa (x86-64) — the correctly-rounded quotient itself.
+  struct Case {
+    int64_t num, den;
+  };
+  const Case cases[] = {
+      {65087388489954841, 5299475676119306768},
+      {12344750046124580, 29779593377879467},
+      {165921603844198924, 19101073637333688},
+      {806883593148498509, 154759624768608863},
+      {192279616572508575, 500964903060065220},
+      {62060824326624300, 59358982281248434},
+      {16018723570806404, 1369904483839597488},
+      {751810329574314310, 232059269233279135},
+  };
+  size_t differs_from_naive = 0;
+  for (const Case& c : cases) {
+    const Rational r(c.num, c.den);
+    const double got = r.ToDouble();
+    const double reference = static_cast<double>(
+        static_cast<long double>(r.num()) /
+        static_cast<long double>(r.den()));
+    EXPECT_EQ(got, reference) << c.num << "/" << c.den;
+    const double naive = static_cast<double>(r.num()) /
+                         static_cast<double>(r.den());
+    // Never drift beyond a neighbouring double of the naive quotient.
+    EXPECT_LE(std::abs(got - naive),
+              std::abs(std::nextafter(naive, got) - naive) +
+                  std::abs(naive) * 1e-15)
+        << c.num << "/" << c.den;
+    if (got != naive) ++differs_from_naive;
+  }
+  // On a 64-bit-mantissa long double these pairs are the ones where the
+  // naive division was off (a few reduce under gcd normalization and
+  // coincide again); if the platform's long double is no wider than
+  // double the two always coincide and the sweep is vacuous.
+  if (static_cast<long double>((int64_t{1} << 60) + 1) !=
+      static_cast<long double>(int64_t{1} << 60)) {
+    EXPECT_GE(differs_from_naive, 4u);
+  }
 }
 
 TEST(RationalDeathTest, GuardsStayActiveInReleaseBuilds) {

@@ -33,6 +33,7 @@
 #include "graph/updates.h"
 #include "parallel/pdect.h"
 #include "parallel/pinc_dect.h"
+#include "reason/sigma_optimizer.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -57,6 +58,15 @@ options:
                       simulated processors
   --max-violations N  stop collecting per NGD after N violations
                       (sequential batch mode only)
+  --minimize-sigma    run the Sigma-optimizer before detection: rules the
+                      remaining set implies are dropped (any violation of
+                      a dropped rule co-occurs with a kept-rule violation)
+                      and a "sigma_optimizer" report section is emitted.
+                      In incremental mode added/removed cover the KEPT
+                      rules only — a dropped rule's co-occurring kept
+                      violation may predate the batch — so combining with
+                      --fail-on-violations there is rejected (the exit-2
+                      gate would weaken silently)
   --fail-on-violations  exit 2 if any violation (or ΔVio+) is found
   --help              show this message
 )";
@@ -68,6 +78,7 @@ struct Options {
   std::string mode = "batch";
   int parallel = 0;  // 0 = sequential
   size_t max_violations = 0;
+  bool minimize_sigma = false;
   bool fail_on_violations = false;
 };
 
@@ -120,6 +131,8 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
         return false;
       }
       opts->max_violations = static_cast<size_t>(*n);
+    } else if (arg == "--minimize-sigma") {
+      opts->minimize_sigma = true;
     } else if (arg == "--fail-on-violations") {
       opts->fail_on_violations = true;
     } else {
@@ -143,6 +156,19 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
       (opts->mode != "batch" || opts->parallel > 0)) {
     *error = "--max-violations is only supported by the sequential batch "
              "engine (no --parallel, no --mode incremental)";
+    return false;
+  }
+  if (opts->minimize_sigma && opts->fail_on_violations &&
+      opts->mode == "incremental") {
+    // Minimization preserves Vio-emptiness but NOT dVio+-emptiness: a
+    // dropped rule's newly-introduced violation is only guaranteed a
+    // co-occurring kept-rule violation in the post-update graph as a
+    // whole, which may predate the batch and thus be absent from
+    // dVio+. Letting the combination through would silently weaken the
+    // exit-2 gate pipelines rely on.
+    *error = "--minimize-sigma cannot be combined with "
+             "--fail-on-violations in incremental mode (dVio+ covers "
+             "kept rules only; the gate would weaken)";
     return false;
   }
   return true;
@@ -282,6 +308,49 @@ int Run(const Options& opts) {
   os << "  \"rules\": " << sigma->size() << ",\n";
   os << "  \"mode\": \"" << opts.mode
      << (opts.parallel > 0 ? "-parallel" : "") << "\",\n";
+
+  // Σ-optimizer: minimize up front (rather than per engine call via
+  // DectOptions::minimize_sigma) so the report is visible in the JSON,
+  // then run detection on the kept rules — their names are preserved, so
+  // the violation output below needs no remapping. Incremental mode
+  // validates the FULL catalog first, exactly as the engine wiring does:
+  // an optimization flag must never flip a rejected rules file into an
+  // accepted run just because the offending rule happened to be implied.
+  if (opts.minimize_sigma) {
+    if (opts.mode == "incremental") {
+      Status valid = ValidateForIncremental(*sigma);
+      if (!valid.ok()) {
+        std::cerr << "ngdcheck: " << valid.ToString() << "\n";
+        return 1;
+      }
+    }
+    WallTimer opt_timer;
+    MinimizedSigma m = MinimizeSigma(*sigma, schema);
+    os << "  \"sigma_optimizer\": {\n";
+    // Structural catalog identity: equal values across runs mean the
+    // kept-set cache would have served this Σ without re-solving.
+    os << "    \"sigma_fingerprint\": \"" << std::hex
+       << FingerprintSigma(*sigma, schema) << std::dec << "\",\n";
+    os << "    \"rules_before\": " << sigma->size() << ",\n";
+    os << "    \"rules_kept\": " << m.report.kept.size() << ",\n";
+    os << "    \"dropped\": [";
+    for (size_t i = 0; i < m.report.dropped.size(); ++i) {
+      os << (i > 0 ? ", " : "") << '"';
+      JsonEscape((*sigma)[static_cast<size_t>(m.report.dropped[i])].name(),
+                 &os);
+      os << '"';
+    }
+    os << "],\n";
+    os << "    \"duplicate_drops\": " << m.report.duplicate_drops << ",\n";
+    os << "    \"implication_checks\": " << m.report.implication_checks
+       << ",\n";
+    os << "    \"unknown_checks\": " << m.report.unknown << ",\n";
+    os << "    \"prefilter_skips\": " << m.report.prefilter_skips << ",\n";
+    os << "    \"solver_seconds\": " << m.report.solver_seconds << ",\n";
+    os << "    \"elapsed_seconds\": " << opt_timer.ElapsedSeconds() << "\n";
+    os << "  },\n";
+    *sigma = std::move(m.sigma);
+  }
 
   bool dirty = false;
   WallTimer timer;
