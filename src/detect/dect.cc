@@ -85,14 +85,16 @@ VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
   }
 
   std::optional<GraphSnapshot> snap;
-  if (ResolveSnapshot(g, sigma, opts.snapshot_mode)) {
+  const GraphSnapshot* use_snap = opts.snapshot;
+  if (use_snap == nullptr && ResolveSnapshot(g, sigma, opts.snapshot_mode)) {
     snap.emplace(g, opts.view);
+    use_snap = &*snap;
   }
 
   VioSet vio;
   int current_ngd = -1;
   size_t found = 0;
-  SweepRules(g, snap ? &*snap : nullptr, sigma, opts.view,
+  SweepRules(g, use_snap, sigma, opts.view,
              /*stop_sweep_on_false=*/false, [&](int f, const Binding& binding) {
                if (f != current_ngd) {
                  current_ngd = f;
@@ -130,9 +132,13 @@ std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
   // violations are common pass kNever to skip the O(|E|) build an early
   // witness would waste.
   std::optional<GraphSnapshot> snap;
-  if (ResolveSnapshot(g, sigma, opts.snapshot_mode)) snap.emplace(g, opts.view);
+  const GraphSnapshot* use_snap = opts.snapshot;
+  if (use_snap == nullptr && ResolveSnapshot(g, sigma, opts.snapshot_mode)) {
+    snap.emplace(g, opts.view);
+    use_snap = &*snap;
+  }
   std::optional<Violation> witness;
-  SweepRules(g, snap ? &*snap : nullptr, sigma, opts.view,
+  SweepRules(g, use_snap, sigma, opts.view,
              /*stop_sweep_on_false=*/true,
              [&](int f, const Binding& binding) {
                witness = Violation{f, binding};

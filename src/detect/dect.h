@@ -38,6 +38,11 @@ struct DectOptions {
   /// this many violations (0 = unlimited).
   size_t max_violations_per_ngd = 0;
   SnapshotMode snapshot_mode = SnapshotMode::kAuto;
+  /// Pre-built CSR snapshot to match against — e.g. loaded from a binary
+  /// snapshot file (graph/snapshot_io.h) or reused across calls. Must
+  /// describe `view` of `g`. When set it overrides snapshot_mode: the
+  /// engine skips its own build and never falls back to the live graph.
+  const GraphSnapshot* snapshot = nullptr;
   /// Σ-optimizer (reason/sigma_optimizer.h): kNever runs Σ verbatim (the
   /// default and the equivalence oracle); kAlways/kAuto detect against the
   /// implication-minimized rule set and remap violation indices back to Σ.

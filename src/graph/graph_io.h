@@ -1,11 +1,33 @@
-// Plain-text TSV graph serialization.
+// Plain-text TSV graph serialization and the parallel ingest pipeline.
 //
 // Format (one record per line, UTF-8, '#' comments allowed):
 //   N <label> [<attr>=<int>|<attr>="<string>"]...     node (ids implicit, 0-based)
 //   E <src> <dst> <label>                             base edge
+//
+// String attribute values are always double-quoted and escaped: `\\`,
+// `\"`, `\t`, `\n`, `\r` are the only escapes, so a value containing
+// quotes, tabs or newlines round-trips byte-exactly. Label and attribute
+// names are identifiers: they must be non-empty and free of whitespace
+// and control characters, and attribute names additionally must not
+// contain '=' or '"' (the record syntax could not represent them);
+// WriteGraphText rejects offending graphs with kInvalidArgument and the
+// readers reject offending files with kCorruption plus the line number.
+//
+// Edge endpoints are validated against the FINAL node count of the file:
+// negative ids and ids >= the number of N records fail with kCorruption
+// and the line number (no unsigned wraparound), while forward references
+// to nodes declared later in the file are allowed — a consequence of the
+// two-phase chunked parser below, and handy for hand-written fixtures.
+//
+// Ingestion is chunk-parallel: the input splits into line-aligned chunks,
+// each parsed by one thread into a shard with thread-local label/attr
+// intern tables, then the shards merge deterministically in file order —
+// the resulting graph, schema intern order and first-reported error are
+// identical regardless of thread count (ids equal a one-thread parse).
 // The loader interns labels/attributes into the supplied schema. This is
-// the interchange format for shipping rule-discovered datasets between the
-// examples and benches.
+// the interchange format for shipping rule-discovered datasets between
+// the examples, benches and ngdcheck; see graph/snapshot_io.h for the
+// binary snapshot format that avoids re-parsing altogether.
 
 #ifndef NGD_GRAPH_GRAPH_IO_H_
 #define NGD_GRAPH_GRAPH_IO_H_
@@ -13,21 +35,44 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "graph/graph.h"
 #include "util/status.h"
 
 namespace ngd {
 
-/// Writes the kNew view of `g` (pending overlay folded into the output).
-Status WriteGraphText(const Graph& g, std::ostream* os);
-Status SaveGraphFile(const Graph& g, const std::string& path);
+struct IngestOptions {
+  /// Parser threads; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Inputs smaller than this parse on the calling thread (spawn cost
+  /// dominates below it).
+  size_t min_parallel_bytes = 1 << 16;
+};
 
-/// Parses a graph in the TSV format above.
+/// Writes `view` of `g` (default: kNew, the pending overlay folded into
+/// the output — the post-ΔG graph). Unit updates are edge-level (paper
+/// §5.2), so node and attribute emission is view-invariant by
+/// construction; the edge records are filtered to exactly the edges
+/// visible in `view`.
+Status WriteGraphText(const Graph& g, std::ostream* os,
+                      GraphView view = GraphView::kNew);
+Status SaveGraphFile(const Graph& g, const std::string& path,
+                     GraphView view = GraphView::kNew);
+
+/// Reads a whole file into memory with one sized bulk read (shared by
+/// the TSV loader and the binary snapshot loader).
+StatusOr<std::string> ReadFileBytes(const std::string& path);
+
+/// Parses a graph in the TSV format above (chunk-parallel per `opts`).
+StatusOr<std::unique_ptr<Graph>> ParseGraphText(std::string_view text,
+                                                SchemaPtr schema,
+                                                const IngestOptions& opts = {});
 StatusOr<std::unique_ptr<Graph>> ReadGraphText(std::istream* is,
                                                SchemaPtr schema);
 StatusOr<std::unique_ptr<Graph>> LoadGraphFile(const std::string& path,
-                                               SchemaPtr schema);
+                                               SchemaPtr schema,
+                                               const IngestOptions& opts = {});
 
 }  // namespace ngd
 

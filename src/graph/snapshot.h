@@ -84,6 +84,12 @@ class GraphSnapshot {
   }
 
  private:
+  /// Binary persistence (graph/snapshot_io.{h,cc}) reads and rebuilds the
+  /// raw CSR arrays directly — a loaded snapshot needs no re-sort and no
+  /// re-intern — via this codec, the only friend.
+  friend class SnapshotCodec;
+  GraphSnapshot() = default;
+
   /// One direction of the adjacency: a two-level CSR. Node v owns the
   /// label groups groups[group_off[v] .. group_off[v+1]), each group a
   /// (label, begin, end) run into `nbr`, label-ascending per node.

@@ -29,9 +29,13 @@ PDectResult PDect(const Graph& g, const NgdSet& sigma,
   // built before the clock-relevant matching work starts and amortized
   // across every rule in Σ.
   std::optional<GraphSnapshot> snap;
-  if (ResolveSnapshot(g, sigma, opts.snapshot_mode)) snap.emplace(g, opts.view);
-  const GraphAccessor acc = snap ? GraphAccessor(*snap)
-                                 : GraphAccessor(g, opts.view);
+  const GraphSnapshot* use_snap = opts.snapshot;
+  if (use_snap == nullptr && ResolveSnapshot(g, sigma, opts.snapshot_mode)) {
+    snap.emplace(g, opts.view);
+    use_snap = &*snap;
+  }
+  const GraphAccessor acc = use_snap ? GraphAccessor(*use_snap)
+                                     : GraphAccessor(g, opts.view);
 
   // Static seed assignment: per NGD, candidates of the start node go to
   // the processor owning their fragment.
@@ -70,7 +74,7 @@ PDectResult PDect(const Graph& g, const NgdSet& sigma,
         const Ngd& ngd = sigma[seed.ngd_index];
         SearchConfig cfg;
         cfg.graph = &g;
-        cfg.snapshot = snap ? &*snap : nullptr;
+        cfg.snapshot = use_snap;
         cfg.pattern = &ngd.pattern();
         cfg.x = &ngd.X();
         cfg.y = &ngd.Y();

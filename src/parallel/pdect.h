@@ -23,6 +23,10 @@ struct PDectOptions {
   /// when the Dect cost model says the build amortizes; kAlways/kNever
   /// force the choice.
   SnapshotMode snapshot_mode = SnapshotMode::kAuto;
+  /// Pre-built CSR snapshot shared by all workers (e.g. loaded from a
+  /// binary snapshot file, graph/snapshot_io.h). Must describe `view` of
+  /// `g`; overrides snapshot_mode when set.
+  const GraphSnapshot* snapshot = nullptr;
   /// Σ-optimizer (reason/sigma_optimizer.h): kAlways/kAuto seed workers
   /// from the implication-minimized rule set only (dropped rules assign no
   /// seeds to any processor) and remap violation indices back to Σ.

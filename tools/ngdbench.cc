@@ -21,6 +21,15 @@
 //   inc_dect_delta_view  — IncDect on the DeltaView over the shared base
 //   pinc_dect_live_pN / pinc_dect_delta_view_pN — PIncDect, both backends
 //
+// then measures the ingest path (the `ingest` series) on generator-
+// produced DBpedia/YAGO2/Pokec-like datasets (≥ 10× the pinned default
+// workload at --ingest-scale 1): TSV write, sequential vs chunk-parallel
+// TSV parse, CSR snapshot build, and binary snapshot save/load
+// (snapshot_io.h). The three ingestion paths are cross-checked by
+// snapshot fingerprint — a silent parse or codec divergence fails the
+// run — and the headline `snapshot_load_vs_tsv_parse_largest` tracks the
+// ≥ 5× binary-vs-text target on the largest dataset,
+//
 // and finally reproduces the Fig. 4(a)-(d) |ΔG| axis (5% -> 35%, γ = 1)
 // on a second pinned workload — the incremental analogue of
 // bench_micro_engine's high-degree/wildcard clean sweep: feeds-edge churn
@@ -43,9 +52,12 @@
 // Unlike the bench/ binaries this tool links only libngd — no
 // google-benchmark dependency — so it runs anywhere the library builds.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -57,7 +69,9 @@
 #include "discovery/ngd_generator.h"
 #include "graph/delta_view.h"
 #include "graph/generators.h"
+#include "graph/graph_io.h"
 #include "graph/snapshot.h"
+#include "graph/snapshot_io.h"
 #include "graph/updates.h"
 #include "parallel/pdect.h"
 #include "parallel/pinc_dect.h"
@@ -94,7 +108,14 @@ options:
   --seed S           workload seed (default 7)
   --update-fraction P  |dG| as a fraction of |E| for the incremental
                      stages (default 0.1; gamma = 1, no new nodes)
-  --parallel N       processors for the PDect/PIncDect stages (default 4)
+  --ingest-scale F   size multiplier for the ingest-series datasets
+                     (default 1.0 = DBpedia/YAGO2/Pokec-like graphs at
+                     >= 10x the pinned default workload; the ctest smoke
+                     uses a small fraction)
+  --tmpdir DIR       scratch directory for the ingest series' TSV and
+                     snapshot files (default: the system temp directory)
+  --parallel N       processors for the PDect/PIncDect stages and the
+                     chunk-parallel TSV parse (default 4)
   --repetitions R    timed repetitions per stage, minimum reported
                      (default 3)
   --out FILE         output path (default BENCH_detect.json; "-" = stdout
@@ -112,6 +133,8 @@ struct Options {
   size_t edge_labels = 50;
   double violation_rate = 0.02;
   double update_fraction = 0.1;
+  double ingest_scale = 1.0;
+  std::string tmpdir;
   uint64_t seed = 7;
   int parallel = 4;
   int repetitions = 3;
@@ -172,6 +195,20 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
       if (!parse_prob(&opts->violation_rate)) return false;
     } else if (arg == "--update-fraction") {
       if (!parse_prob(&opts->update_fraction)) return false;
+    } else if (arg == "--ingest-scale") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      double p = std::strtod(v, &end);
+      if (end == v || *end != '\0' || p <= 0.0 || p > 1000.0) {
+        *error = "--ingest-scale requires a multiplier in (0, 1000]";
+        return false;
+      }
+      opts->ingest_scale = p;
+    } else if (arg == "--tmpdir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts->tmpdir = v;
     } else if (arg == "--seed") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -393,6 +430,163 @@ UpdateBatch MakeFeedsChurn(const HubSweepWorkload& w, double fraction,
     batch.updates.push_back({UpdateKind::kInsert, s, h, w.feeds});
   }
   return batch;
+}
+
+// ---- Ingest series: TSV parse vs binary snapshot load -------------------
+//
+// Three generator presets mirroring the paper's real datasets (label
+// alphabets, density, skew; graph/generators.h), sized so the largest —
+// pokec_like, the densest — carries ≥ 10× the edges of the pinned
+// default detection workload at --ingest-scale 1. Each dataset is
+// written as TSV, re-parsed sequentially (the pre-PR-5 loader's cost)
+// and chunk-parallel, then persisted and re-loaded as a binary snapshot.
+// All three ingestion paths must agree on the snapshot fingerprint.
+
+struct IngestStat {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  uintmax_t tsv_bytes = 0;
+  uintmax_t snapshot_bytes = 0;
+  double generate_s = 0.0;
+  double tsv_write_s = 0.0;
+  double tsv_parse_seq_s = 0.0;
+  double tsv_parse_par_s = 0.0;
+  double snapshot_build_s = 0.0;
+  double snapshot_save_s = 0.0;
+  double snapshot_load_s = 0.0;
+};
+
+bool RunIngest(const Options& opts, std::vector<IngestStat>* out) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir =
+      opts.tmpdir.empty() ? fs::temp_directory_path(ec) : fs::path(opts.tmpdir);
+  if (ec) {
+    std::cerr << "ngdbench: no temp directory: " << ec.message() << "\n";
+    return false;
+  }
+  struct Spec {
+    const char* name;
+    GraphGenConfig config;
+  };
+  const Spec specs[] = {
+      {"dbpedia_like",
+       DBpediaLikeConfig(0.008 * opts.ingest_scale, opts.seed + 10)},
+      {"yago2_like", Yago2LikeConfig(0.05 * opts.ingest_scale, opts.seed + 11)},
+      {"pokec_like", PokecLikeConfig(0.02 * opts.ingest_scale, opts.seed + 12)},
+  };
+  for (const Spec& spec : specs) {
+    IngestStat st;
+    st.name = spec.name;
+    auto fail = [&](const std::string& what, const Status& s) {
+      std::cerr << "ngdbench: ingest " << st.name << ": " << what << ": "
+                << s.ToString() << "\n";
+      return false;
+    };
+    SchemaPtr gen_schema = Schema::Create();
+    std::unique_ptr<Graph> generated;
+    st.generate_s = TimeMin(1, [&]() {
+      generated = GenerateGraph(spec.config, gen_schema);
+    });
+    st.nodes = generated->NumNodes();
+    st.edges = generated->NumEdges(GraphView::kNew);
+
+    // PID in the tag: concurrent runs sharing a tmpdir (CI shards on one
+    // host) must not rewrite each other's scratch files mid-run.
+    const std::string tag = "ngdbench_ingest_" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(opts.seed) + "_" + st.name;
+    const std::string tsv_path = (dir / (tag + ".tsv")).string();
+    const std::string snap_path = (dir / (tag + ".ngds")).string();
+    // Scope-exit cleanup: failure paths must not leave multi-MB scratch
+    // files accumulating in a shared temp directory.
+    struct ScratchGuard {
+      const std::string& tsv;
+      const std::string& snap;
+      ~ScratchGuard() {
+        std::error_code ignored;
+        fs::remove(tsv, ignored);
+        fs::remove(snap, ignored);
+      }
+    } guard{tsv_path, snap_path};
+
+    Status w;
+    st.tsv_write_s = TimeMin(1, [&]() { w = SaveGraphFile(*generated, tsv_path); });
+    if (!w.ok()) return fail("tsv write", w);
+    generated.reset();  // parsers are timed without the generator resident
+
+    IngestOptions seq;
+    seq.threads = 1;
+    IngestOptions par;
+    par.threads = opts.parallel;
+    std::unique_ptr<Graph> parsed_seq, parsed_par;
+    Status parse_status = Status::OK();
+    st.tsv_parse_seq_s = TimeMin(opts.repetitions, [&]() {
+      auto r = LoadGraphFile(tsv_path, Schema::Create(), seq);
+      if (!r.ok()) {
+        parse_status = r.status();
+        return;
+      }
+      parsed_seq = std::move(r).value();
+    });
+    if (!parse_status.ok()) return fail("sequential tsv parse", parse_status);
+    st.tsv_parse_par_s = TimeMin(opts.repetitions, [&]() {
+      auto r = LoadGraphFile(tsv_path, Schema::Create(), par);
+      if (!r.ok()) {
+        parse_status = r.status();
+        return;
+      }
+      parsed_par = std::move(r).value();
+    });
+    if (!parse_status.ok()) return fail("parallel tsv parse", parse_status);
+    if (parsed_seq->NumNodes() != st.nodes ||
+        parsed_seq->NumEdges(GraphView::kNew) != st.edges) {
+      return fail("tsv round-trip size mismatch", Status::Internal(
+          std::to_string(parsed_seq->NumNodes()) + " nodes / " +
+          std::to_string(parsed_seq->NumEdges(GraphView::kNew)) + " edges"));
+    }
+
+    st.snapshot_build_s = TimeMin(opts.repetitions, [&]() {
+      GraphSnapshot snap(*parsed_seq, GraphView::kNew);
+      if (snap.NumNodes() != st.nodes) std::abort();
+    });
+    GraphSnapshot snap(*parsed_seq, GraphView::kNew);
+    Status s;
+    st.snapshot_save_s =
+        TimeMin(1, [&]() { s = SaveSnapshotFile(snap, snap_path); });
+    if (!s.ok()) return fail("snapshot save", s);
+    std::unique_ptr<GraphSnapshot> loaded;
+    st.snapshot_load_s = TimeMin(opts.repetitions, [&]() {
+      auto r = LoadSnapshotFile(snap_path, Schema::Create());
+      if (!r.ok()) {
+        parse_status = r.status();
+        return;
+      }
+      loaded = std::move(r).value();
+    });
+    if (!parse_status.ok()) return fail("snapshot load", parse_status);
+
+    // The three ingestion paths must produce the same graph, bit for bit
+    // in fingerprint terms (sequential parse is the oracle; its schema
+    // intern order is the canonical file order both others reproduce).
+    const uint64_t fp_seq = SnapshotFingerprint(snap);
+    const GraphSnapshot snap_par(*parsed_par, GraphView::kNew);
+    const uint64_t fp_par = SnapshotFingerprint(snap_par);
+    const uint64_t fp_bin = SnapshotFingerprint(*loaded);
+    if (fp_seq != fp_par || fp_seq != fp_bin) {
+      std::cerr << "ngdbench: ingest " << st.name
+                << ": ingestion paths disagree: seq=" << std::hex << fp_seq
+                << " par=" << fp_par << " binary=" << fp_bin << std::dec
+                << "\n";
+      return false;
+    }
+
+    st.tsv_bytes = fs::file_size(tsv_path, ec);
+    st.snapshot_bytes = fs::file_size(snap_path, ec);
+    out->push_back(st);
+  }
+  return true;
 }
 
 struct SweepPoint {
@@ -668,6 +862,18 @@ int Run(const Options& opts) {
   // The Fig. 4(a)-(d) |ΔG| sweep on the pinned hub workload.
   std::vector<SweepPoint> sweep;
   if (!RunHubSweep(opts, &sweep)) return 1;
+
+  // The ingest series: TSV parse vs binary snapshot load, cross-checked.
+  std::vector<IngestStat> ingest;
+  if (!RunIngest(opts, &ingest)) return 1;
+  const IngestStat* largest = &ingest[0];
+  for (const IngestStat& st : ingest) {
+    if (st.edges > largest->edges) largest = &st;
+  }
+  const double ingest_headline =
+      largest->snapshot_load_s > 0
+          ? largest->tsv_parse_seq_s / largest->snapshot_load_s
+          : -1.0;
   double min_dv_speedup = -1.0;
   for (const SweepPoint& pt : sweep) {
     const double s = pt.inc_dv_s > 0 ? pt.inc_live_s / pt.inc_dv_s : -1.0;
@@ -805,6 +1011,53 @@ int Run(const Options& opts) {
   // The tracked headline: delta-view IncDect vs the live baseline across
   // the whole |dG| sweep (target >= 1.5x at every point).
   js << "    \"min_inc_dect_delta_view_vs_live\": " << min_dv_speedup
+     << "\n";
+  js << "  },\n";
+  js << "  \"ingest\": {\n";
+  js << "    \"scale\": " << opts.ingest_scale << ",\n";
+  js << "    \"parse_threads\": " << opts.parallel << ",\n";
+  js << "    \"datasets\": [\n";
+  for (size_t i = 0; i < ingest.size(); ++i) {
+    const IngestStat& st = ingest[i];
+    js << "      {\n";
+    js << "        \"name\": \"" << st.name << "\",\n";
+    js << "        \"nodes\": " << st.nodes << ",\n";
+    js << "        \"edges\": " << st.edges << ",\n";
+    js << "        \"tsv_bytes\": " << st.tsv_bytes << ",\n";
+    js << "        \"snapshot_bytes\": " << st.snapshot_bytes << ",\n";
+    js << "        \"timings_seconds\": {\n";
+    js << "          \"generate\": " << st.generate_s << ",\n";
+    js << "          \"tsv_write\": " << st.tsv_write_s << ",\n";
+    js << "          \"tsv_parse_seq\": " << st.tsv_parse_seq_s << ",\n";
+    js << "          \"tsv_parse_par_t" << opts.parallel
+       << "\": " << st.tsv_parse_par_s << ",\n";
+    js << "          \"snapshot_build\": " << st.snapshot_build_s << ",\n";
+    js << "          \"snapshot_save\": " << st.snapshot_save_s << ",\n";
+    js << "          \"snapshot_load\": " << st.snapshot_load_s << "\n";
+    js << "        },\n";
+    js << "        \"speedups\": {\n";
+    // Binary persistence vs re-parsing the text, the cost every run paid
+    // before snapshot files existed.
+    js << "          \"snapshot_load_vs_tsv_parse_seq\": "
+       << (st.snapshot_load_s > 0 ? st.tsv_parse_seq_s / st.snapshot_load_s
+                                  : -1.0)
+       << ",\n";
+    js << "          \"snapshot_load_vs_tsv_parse_par\": "
+       << (st.snapshot_load_s > 0 ? st.tsv_parse_par_s / st.snapshot_load_s
+                                  : -1.0)
+       << ",\n";
+    js << "          \"tsv_parse_par_vs_seq\": "
+       << (st.tsv_parse_par_s > 0 ? st.tsv_parse_seq_s / st.tsv_parse_par_s
+                                  : -1.0)
+       << "\n";
+    js << "        }\n";
+    js << "      }" << (i + 1 < ingest.size() ? "," : "") << "\n";
+  }
+  js << "    ],\n";
+  // The tracked headline: binary snapshot load vs (sequential) TSV parse
+  // on the largest dataset (target >= 5x).
+  js << "    \"largest_dataset\": \"" << largest->name << "\",\n";
+  js << "    \"snapshot_load_vs_tsv_parse_largest\": " << ingest_headline
      << "\n";
   js << "  }\n";
   js << "}\n";

@@ -1,13 +1,20 @@
 // ngdcheck: command-line NGD inconsistency checker.
 //
-// Loads a TSV graph (graph_io.h format) and an NGD rule file (parser.h
-// DSL), runs batch or incremental detection — sequential or parallel —
-// and emits the violations as JSON on stdout.
+// Loads a graph — TSV (graph_io.h format, parsed chunk-parallel) or a
+// binary snapshot file (snapshot_io.h, detected by magic bytes) — and an
+// NGD rule file (parser.h DSL), runs batch or incremental detection —
+// sequential or parallel — and emits the violations as JSON on stdout.
+// A snapshot input feeds the batch engines (Dect/PDect) directly as the
+// pre-built CSR backend and the incremental engines (IncDect/PIncDect)
+// as the DeltaView base snapshot; the violation output is identical to
+// the TSV path either way.
 //
 //   ngdcheck --graph G.tsv --rules R.ngd                  # batch, Dect
 //   ngdcheck --graph G.tsv --rules R.ngd --parallel 8     # batch, PDect
 //   ngdcheck --graph G.tsv --rules R.ngd --updates D.tsv
 //       --mode incremental                                # IncDect
+//   ngdcheck --graph G.tsv --save-snapshot G.ngds         # TSV -> binary
+//   ngdcheck --graph G.ngds --rules R.ngd                 # snapshot input
 //
 // Update files carry one unit update per line, whitespace-separated:
 //   I <src> <dst> <label>     insert edge into ΔG+
@@ -30,6 +37,8 @@
 #include "detect/dect.h"
 #include "detect/inc_dect.h"
 #include "graph/graph_io.h"
+#include "graph/snapshot.h"
+#include "graph/snapshot_io.h"
 #include "graph/updates.h"
 #include "parallel/pdect.h"
 #include "parallel/pinc_dect.h"
@@ -47,10 +56,18 @@ Detects violations of numeric graph dependencies (NGDs) and prints them
 as JSON.
 
 required:
-  --graph FILE        graph in TSV format (see src/graph/graph_io.h)
-  --rules FILE        NGD rule file in the DSL (see src/core/parser.h)
+  --graph FILE        graph: TSV (src/graph/graph_io.h) or a binary
+                      snapshot file (src/graph/snapshot_io.h; detected by
+                      magic bytes, typically *.ngds)
+  --rules FILE        NGD rule file in the DSL (see src/core/parser.h);
+                      optional when only --save-snapshot is requested
 
 options:
+  --save-snapshot FILE  write the loaded graph as a binary snapshot
+                      (kNew view) to FILE; with --rules detection still
+                      runs afterwards, without --rules ngdcheck converts
+                      and exits
+  --threads N         TSV parser threads (default: hardware concurrency)
   --mode MODE         batch (default) or incremental
   --updates FILE      unit-update file ("I|D <src> <dst> <label>" lines);
                       required for --mode incremental
@@ -75,8 +92,10 @@ struct Options {
   std::string graph_path;
   std::string rules_path;
   std::string updates_path;
+  std::string save_snapshot_path;
   std::string mode = "batch";
   int parallel = 0;  // 0 = sequential
+  int threads = 0;   // TSV parser threads; 0 = hardware concurrency
   size_t max_violations = 0;
   bool minimize_sigma = false;
   bool fail_on_violations = false;
@@ -107,6 +126,20 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
       const char* v = need_value("--updates");
       if (v == nullptr) return false;
       opts->updates_path = v;
+    } else if (arg == "--save-snapshot") {
+      const char* v = need_value("--save-snapshot");
+      if (v == nullptr) return false;
+      opts->save_snapshot_path = v;
+    } else if (arg == "--threads") {
+      const char* v = need_value("--threads");
+      if (v == nullptr) return false;
+      auto n = ParseInt64(v);
+      if (!n || *n <= 0 || *n > 1024) {
+        *error = "--threads requires a thread count in [1, 1024], got " +
+                 std::string(v);
+        return false;
+      }
+      opts->threads = static_cast<int>(*n);
     } else if (arg == "--mode") {
       const char* v = need_value("--mode");
       if (v == nullptr) return false;
@@ -140,8 +173,12 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
       return false;
     }
   }
-  if (opts->graph_path.empty() || opts->rules_path.empty()) {
-    *error = "--graph and --rules are required";
+  if (opts->graph_path.empty()) {
+    *error = "--graph is required";
+    return false;
+  }
+  if (opts->rules_path.empty() && opts->save_snapshot_path.empty()) {
+    *error = "--rules is required (unless only --save-snapshot is given)";
     return false;
   }
   if (opts->mode != "batch" && opts->mode != "incremental") {
@@ -278,13 +315,71 @@ void WriteVioArray(const VioSet& vio, const NgdSet& sigma,
 int Run(const Options& opts) {
   SchemaPtr schema = Schema::Create();
 
-  auto graph = LoadGraphFile(opts.graph_path, schema);
-  if (!graph.ok()) {
-    std::cerr << "ngdcheck: loading " << opts.graph_path << ": "
-              << graph.status().ToString() << "\n";
-    return 1;
+  // Graph input: binary snapshot (by magic) or TSV. A snapshot loads
+  // O(sections) into the CSR backend the batch engines match against;
+  // the live overlay Graph every engine needs for schema/stats (and the
+  // incremental path mutates) is materialized from it.
+  std::unique_ptr<GraphSnapshot> loaded_snapshot;
+  std::unique_ptr<Graph> owned_graph;
+  const bool is_snapshot_input = SniffSnapshotFile(opts.graph_path);
+  if (is_snapshot_input) {
+    auto snap = LoadSnapshotFile(opts.graph_path, schema);
+    if (!snap.ok()) {
+      std::cerr << "ngdcheck: loading " << opts.graph_path << ": "
+                << snap.status().ToString() << "\n";
+      return 1;
+    }
+    loaded_snapshot = std::move(snap).value();
+    auto materialized = MaterializeGraph(*loaded_snapshot);
+    if (!materialized.ok()) {
+      std::cerr << "ngdcheck: " << materialized.status().ToString() << "\n";
+      return 1;
+    }
+    owned_graph = std::move(materialized).value();
+  } else {
+    IngestOptions ingest;
+    ingest.threads = opts.threads;
+    auto graph = LoadGraphFile(opts.graph_path, schema, ingest);
+    if (!graph.ok()) {
+      std::cerr << "ngdcheck: loading " << opts.graph_path << ": "
+                << graph.status().ToString() << "\n";
+      return 1;
+    }
+    owned_graph = std::move(graph).value();
   }
-  Graph& g = **graph;
+  Graph& g = *owned_graph;
+
+  // Built lazily for --save-snapshot on a TSV input; kept alive so batch
+  // detection below reuses it instead of rebuilding an identical CSR.
+  std::unique_ptr<GraphSnapshot> built_snapshot;
+  if (!opts.save_snapshot_path.empty()) {
+    Status saved;
+    if (loaded_snapshot != nullptr &&
+        loaded_snapshot->view() == GraphView::kNew) {
+      saved = SaveSnapshotFile(*loaded_snapshot, opts.save_snapshot_path);
+    } else {
+      built_snapshot = std::make_unique<GraphSnapshot>(g, GraphView::kNew);
+      saved = SaveSnapshotFile(*built_snapshot, opts.save_snapshot_path);
+    }
+    if (!saved.ok()) {
+      std::cerr << "ngdcheck: saving snapshot: " << saved.ToString() << "\n";
+      return 1;
+    }
+    if (opts.rules_path.empty()) {
+      std::ostream& os = std::cout;
+      os << "{\n";
+      os << "  \"graph\": \"";
+      JsonEscape(opts.graph_path, &os);
+      os << "\",\n";
+      os << "  \"snapshot_saved\": \"";
+      JsonEscape(opts.save_snapshot_path, &os);
+      os << "\",\n";
+      os << "  \"nodes\": " << g.NumNodes() << ",\n";
+      os << "  \"edges\": " << g.NumEdges(GraphView::kNew) << "\n";
+      os << "}\n";
+      return 0;
+    }
+  }
 
   auto rules_text = ReadFile(opts.rules_path);
   if (!rules_text.ok()) {
@@ -303,6 +398,8 @@ int Run(const Options& opts) {
   os << "  \"graph\": \"";
   JsonEscape(opts.graph_path, &os);
   os << "\",\n";
+  os << "  \"graph_format\": \""
+     << (is_snapshot_input ? "snapshot" : "tsv") << "\",\n";
   os << "  \"nodes\": " << g.NumNodes() << ",\n";
   os << "  \"edges\": " << g.NumEdges(GraphView::kNew) << ",\n";
   os << "  \"rules\": " << sigma->size() << ",\n";
@@ -355,14 +452,23 @@ int Run(const Options& opts) {
   bool dirty = false;
   WallTimer timer;
   if (opts.mode == "batch") {
+    // A loaded (or just-saved) kNew snapshot IS the batch search
+    // backend — no rebuild.
+    const GraphSnapshot* prebuilt =
+        loaded_snapshot != nullptr &&
+                loaded_snapshot->view() == GraphView::kNew
+            ? loaded_snapshot.get()
+            : built_snapshot.get();
     VioSet vio;
     if (opts.parallel > 0) {
       PDectOptions popts;
       popts.num_processors = opts.parallel;
+      popts.snapshot = prebuilt;
       vio = PDect(g, *sigma, popts).vio;
     } else {
       DectOptions dopts;
       dopts.max_violations_per_ngd = opts.max_violations;
+      dopts.snapshot = prebuilt;
       vio = Dect(g, *sigma, dopts);
     }
     double elapsed = timer.ElapsedSeconds();
@@ -387,10 +493,16 @@ int Run(const Options& opts) {
     // Time only the detection itself, matching batch mode (update-file
     // IO and overlay application are setup, not IncDect work).
     timer.Restart();
+    // A loaded snapshot is exactly the pre-update graph (ΔG was applied
+    // as the overlay on the materialized copy), so it serves as the
+    // DeltaView base the incremental engines never have to rebuild.
     DeltaVio delta;
     if (opts.parallel > 0) {
       PIncDectOptions popts;
       popts.num_processors = opts.parallel;
+      popts.base_snapshot = loaded_snapshot != nullptr
+                                ? loaded_snapshot.get()
+                                : built_snapshot.get();
       auto result = PIncDect(g, *sigma, *batch, popts);
       if (!result.ok()) {
         std::cerr << "ngdcheck: " << result.status().ToString() << "\n";
@@ -398,7 +510,11 @@ int Run(const Options& opts) {
       }
       delta = std::move(result->delta);
     } else {
-      auto result = IncDect(g, *sigma, *batch);
+      IncDectOptions iopts;
+      iopts.base_snapshot = loaded_snapshot != nullptr
+                                ? loaded_snapshot.get()
+                                : built_snapshot.get();
+      auto result = IncDect(g, *sigma, *batch, iopts);
       if (!result.ok()) {
         std::cerr << "ngdcheck: " << result.status().ToString() << "\n";
         return 1;
