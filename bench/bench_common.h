@@ -140,13 +140,20 @@ inline double RunIncDect(Workload& w, const UpdateBatch& batch,
   return t.ElapsedSeconds();
 }
 
-inline double RunPDect(Workload& w, int processors) {
+/// Times fragment-native PDect. Pass a pre-built `runtime` (the amortized
+/// per-epoch partition + fragment CSRs) to keep its construction out of
+/// the timed region; `metrics` receives the run's ClusterMetrics.
+inline double RunPDect(Workload& w, int processors,
+                       const FragmentRuntime* runtime = nullptr,
+                       ClusterMetricsSnapshot* metrics = nullptr) {
   PDectOptions opts;
   opts.num_processors = processors;
   opts.view = GraphView::kNew;
+  opts.runtime = runtime;
   WallTimer t;
   PDectResult r = PDect(*w.graph, w.sigma, opts);
   ::benchmark::DoNotOptimize(r.vio.size());
+  if (metrics != nullptr) *metrics = r.metrics;
   return t.ElapsedSeconds();
 }
 

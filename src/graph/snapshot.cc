@@ -6,7 +6,7 @@
 namespace ngd {
 
 void GraphSnapshot::Build(const Graph& g, GraphView view, bool out,
-                          Direction* d) {
+                          const NodeSet* include, Direction* d) {
   const size_t n = g.NumNodes();
   const size_t num_labels = g.schema()->labels().size();
   d->group_off.assign(n + 1, 0);
@@ -16,14 +16,21 @@ void GraphSnapshot::Build(const Graph& g, GraphView view, bool out,
   // via the touched list), then an id sort within each label segment.
   // Beats a comparator sort of (label, id) pairs ~2x: segments are short,
   // so the O(d log d) factor collapses to O(d + Σ s log s).
+  // With an `include` set only edges with both endpoints included
+  // survive (the induced subgraph), keeping out_/in_ exact transposes.
   std::vector<uint32_t> seg(num_labels, 0);  // label -> count, then offset
   std::vector<LabelId> touched;
   std::vector<NodeId> buf;
   for (NodeId v = 0; v < n; ++v) {
+    if (include != nullptr && !include->Contains(v)) {
+      d->group_off[v + 1] = static_cast<uint32_t>(d->groups.size());
+      continue;
+    }
     const auto& adj = out ? g.OutEdges(v) : g.InEdges(v);
     touched.clear();
     for (const AdjEntry& e : adj) {
       if (!EdgeInView(e.state, view)) continue;
+      if (include != nullptr && !include->Contains(e.other)) continue;
       if (seg[e.label]++ == 0) touched.push_back(e.label);
     }
     if (!touched.empty()) {
@@ -37,6 +44,7 @@ void GraphSnapshot::Build(const Graph& g, GraphView view, bool out,
       buf.resize(off);
       for (const AdjEntry& e : adj) {
         if (!EdgeInView(e.state, view)) continue;
+        if (include != nullptr && !include->Contains(e.other)) continue;
         buf[seg[e.label]++] = e.other;
       }
       uint32_t begin = 0;
@@ -56,22 +64,38 @@ void GraphSnapshot::Build(const Graph& g, GraphView view, bool out,
 }
 
 GraphSnapshot::GraphSnapshot(const Graph& g, GraphView view)
+    : GraphSnapshot(g, view, static_cast<const NodeSet*>(nullptr)) {}
+
+GraphSnapshot::GraphSnapshot(const Graph& g, GraphView view,
+                             const NodeSet& include)
+    : GraphSnapshot(g, view, &include) {}
+
+GraphSnapshot::GraphSnapshot(const Graph& g, GraphView view,
+                             const NodeSet* include)
     : schema_(g.schema()), view_(view) {
   const size_t n = g.NumNodes();
 
   node_labels_.reserve(n);
   for (NodeId v = 0; v < n; ++v) node_labels_.push_back(g.NodeLabel(v));
 
-  Build(g, view, /*out=*/true, &out_);
-  Build(g, view, /*out=*/false, &in_);
+  Build(g, view, /*out=*/true, include, &out_);
+  Build(g, view, /*out=*/false, include, &in_);
 
   // Flat attribute storage; Graph keeps each tuple AttrId-sorted already.
+  // Excluded nodes get an empty range — their attributes live in the
+  // fragments that own or replicate them.
   attr_off_.assign(n + 1, 0);
   size_t total_attrs = 0;
-  for (NodeId v = 0; v < n; ++v) total_attrs += g.Attrs(v).size();
+  for (NodeId v = 0; v < n; ++v) {
+    if (include == nullptr || include->Contains(v)) {
+      total_attrs += g.Attrs(v).size();
+    }
+  }
   attrs_.reserve(total_attrs);
   for (NodeId v = 0; v < n; ++v) {
-    for (const auto& a : g.Attrs(v)) attrs_.push_back(a);
+    if (include == nullptr || include->Contains(v)) {
+      for (const auto& a : g.Attrs(v)) attrs_.push_back(a);
+    }
     attr_off_[v + 1] = static_cast<uint32_t>(attrs_.size());
   }
 

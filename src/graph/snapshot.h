@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/neighborhood.h"
 
 namespace ngd {
 
@@ -49,6 +50,19 @@ class GraphSnapshot {
 
   /// Materializes `view` of `g`. O(|V| + |E| log d) for max degree d.
   GraphSnapshot(const Graph& g, GraphView view);
+
+  /// Materializes the subgraph of `view` of `g` induced by `include`,
+  /// keeping GLOBAL node ids: the id space (and the node-label and
+  /// label→candidate arrays, which the binary format requires to cover
+  /// every node) stays full-width, but adjacency and attribute tuples are
+  /// materialized only for included nodes, and only edges with both
+  /// endpoints included survive. This is the fragment CSR of the
+  /// fragment-native parallel runtime (parallel/fragment.h): member and
+  /// halo nodes carry real adjacency, every other id is an empty husk.
+  /// Callers must scope candidate enumeration themselves (the candidate
+  /// arrays still list excluded nodes — see match/candidate_index.h's
+  /// FragmentCandidates).
+  GraphSnapshot(const Graph& g, GraphView view, const NodeSet& include);
 
   const SchemaPtr& schema() const { return schema_; }
   GraphView view() const { return view_; }
@@ -77,6 +91,17 @@ class GraphSnapshot {
   /// out-range and dst's in-range for `label`.
   bool HasEdge(NodeId src, NodeId dst, LabelId label) const;
 
+  /// Invokes fn(LabelId, NodeId) for every out-edge v -[label]-> w
+  /// (resp. in-edge w -[label]-> v) of v, label-ascending.
+  template <typename Fn>
+  void ForEachOutEdge(NodeId v, Fn&& fn) const {
+    ForEachEdge(out_, v, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void ForEachInEdge(NodeId v, Fn&& fn) const {
+    ForEachEdge(in_, v, std::forward<Fn>(fn));
+  }
+
   /// All node ids with the given label, ascending (candidate array).
   IdRange NodesWithLabel(LabelId label) const;
   size_t CandidateCount(LabelId label) const {
@@ -104,9 +129,22 @@ class GraphSnapshot {
     std::vector<uint32_t> group_off;  // size NumNodes()+1
   };
 
+  GraphSnapshot(const Graph& g, GraphView view, const NodeSet* include);
+
+  template <typename Fn>
+  void ForEachEdge(const Direction& d, NodeId v, Fn&& fn) const {
+    for (uint32_t gi = d.group_off[v]; gi < d.group_off[v + 1]; ++gi) {
+      const Direction::LabelGroup& group = d.groups[gi];
+      for (uint32_t i = group.begin; i < group.end; ++i) {
+        fn(group.label, d.nbr[i]);
+      }
+    }
+  }
+
   static size_t TotalDegree(const Direction& d, NodeId v);
   IdRange FindRange(const Direction& d, NodeId v, LabelId label) const;
-  static void Build(const Graph& g, GraphView view, bool out, Direction* d);
+  static void Build(const Graph& g, GraphView view, bool out,
+                    const NodeSet* include, Direction* d);
 
   SchemaPtr schema_;
   GraphView view_;

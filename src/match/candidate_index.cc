@@ -1,6 +1,24 @@
 #include "match/candidate_index.h"
 
+#include <algorithm>
+
 namespace ngd {
+
+FragmentCandidates::FragmentCandidates(const GraphAccessor& acc,
+                                       const std::vector<NodeId>& owned)
+    : owned_(owned) {
+  // Counting sort of the owned nodes by label; ids stay ascending within
+  // each label because owned_ is ascending.
+  LabelId max_label = 0;
+  for (NodeId v : owned_) max_label = std::max(max_label, acc.NodeLabel(v));
+  const size_t num_labels = owned_.empty() ? 0 : max_label + size_t{1};
+  label_off_.assign(num_labels + 1, 0);
+  for (NodeId v : owned_) ++label_off_[acc.NodeLabel(v) + 1];
+  for (size_t l = 0; l < num_labels; ++l) label_off_[l + 1] += label_off_[l];
+  by_label_.resize(owned_.size());
+  std::vector<uint32_t> cursor(label_off_.begin(), label_off_.end() - 1);
+  for (NodeId v : owned_) by_label_[cursor[acc.NodeLabel(v)]++] = v;
+}
 
 int ChooseStartNode(const Pattern& pattern, const GraphAccessor& g) {
   int best = 0;

@@ -50,6 +50,55 @@ inline int ChooseStartNode(const Pattern& pattern, const Graph& g) {
   return ChooseStartNode(pattern, GraphAccessor(g, GraphView::kNew));
 }
 
+/// Candidate enumeration scoped to one fragment: the label-indexed C(u)
+/// arrays restricted to the nodes the fragment OWNS. The fragment CSR
+/// keeps the full-width candidate arrays of the binary snapshot format
+/// (graph/snapshot.h), so owner-computes seeding — each match is seeded
+/// exactly once cluster-wide, by the fragment owning its start node —
+/// needs this separate owned-only index. Built once per fragment from any
+/// accessor backend; O(|members|) space.
+class FragmentCandidates {
+ public:
+  FragmentCandidates() = default;
+
+  /// `owned` must be ascending (Partition::members order). Node labels
+  /// are read through `acc`.
+  FragmentCandidates(const GraphAccessor& acc,
+                     const std::vector<NodeId>& owned);
+
+  /// Owned candidates of `label`, ascending. kWildcardLabel -> every
+  /// owned node.
+  GraphSnapshot::IdRange Range(LabelId label) const {
+    if (label == kWildcardLabel) {
+      return GraphSnapshot::IdRange{owned_.data(), owned_.size()};
+    }
+    if (static_cast<size_t>(label) + 1 >= label_off_.size()) {
+      return GraphSnapshot::IdRange{};
+    }
+    return GraphSnapshot::IdRange{
+        by_label_.data() + label_off_[label],
+        static_cast<size_t>(label_off_[label + 1] - label_off_[label])};
+  }
+
+  size_t Count(LabelId label) const { return Range(label).size(); }
+  size_t NumOwned() const { return owned_.size(); }
+
+  /// Invokes fn(NodeId) -> bool per owned candidate of `label`; fn
+  /// returning false aborts. Returns false iff aborted.
+  template <typename Fn>
+  bool ForEach(LabelId label, Fn&& fn) const {
+    for (NodeId v : Range(label)) {
+      if (!fn(v)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> owned_;     // ascending
+  std::vector<NodeId> by_label_;  // owned_, grouped by label, id-ascending
+  std::vector<uint32_t> label_off_;
+};
+
 }  // namespace ngd
 
 #endif  // NGD_MATCH_CANDIDATE_INDEX_H_

@@ -6,30 +6,76 @@
 // paper studies — latency constant C (Fig 4(m)) and balancing interval
 // intvl (Fig 4(n)) — are first-class here: C steers the split/local
 // decision in the cost model, intvl the balancer's wake-up period.
+//
+// Three layers:
+//   - WorkQueue<T>: one processor's deque of work units.
+//   - WorkStealingPool<T>: p queues + p worker threads with in-flight
+//     termination, cross-fragment forwarding, and idle-time work
+//     stealing; every unit that changes queues is charged one simulated
+//     message.
+//   - FragmentRuntime: the fragmented graph itself — p FragmentSnapshots
+//     (induced CSR + halo, parallel/fragment.h) built from one Partition,
+//     with per-fragment warm-start persistence.
+//
+// PDect runs fragment-native on a FragmentRuntime + WorkStealingPool;
+// PIncDect uses the pool with fragment ownership for pivot placement and
+// the paper's skew balancer layered on top (its candidate neighborhood
+// N_C is replicated at every processor, so its units run anywhere).
 
 #ifndef NGD_PARALLEL_CLUSTER_H_
 #define NGD_PARALLEL_CLUSTER_H_
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include "parallel/fragment.h"
 
 namespace ngd {
 
 /// Communication / balancing counters (all simulated-message based).
 struct ClusterMetrics {
   std::atomic<uint64_t> messages{0};        ///< simulated messages sent
-  std::atomic<uint64_t> replicated_nodes{0};///< N_C replication volume
+  std::atomic<uint64_t> replicated_nodes{0};///< halo / N_C replication volume
   std::atomic<uint64_t> work_units{0};      ///< units processed
   std::atomic<uint64_t> splits{0};          ///< hybrid splits performed
+  std::atomic<uint64_t> forwards{0};        ///< units shipped to their owner
+  std::atomic<uint64_t> steals{0};          ///< units taken by idle workers
   std::atomic<uint64_t> balance_moves{0};   ///< units moved by balancer
 };
 
+/// Plain-value copy of ClusterMetrics for results and JSON emission.
+struct ClusterMetricsSnapshot {
+  uint64_t messages = 0;
+  uint64_t replicated_nodes = 0;
+  uint64_t work_units = 0;
+  uint64_t splits = 0;
+  uint64_t forwards = 0;
+  uint64_t steals = 0;
+  uint64_t balance_moves = 0;
+};
+
+inline ClusterMetricsSnapshot SnapshotOf(const ClusterMetrics& m) {
+  ClusterMetricsSnapshot s;
+  s.messages = m.messages.load(std::memory_order_relaxed);
+  s.replicated_nodes = m.replicated_nodes.load(std::memory_order_relaxed);
+  s.work_units = m.work_units.load(std::memory_order_relaxed);
+  s.splits = m.splits.load(std::memory_order_relaxed);
+  s.forwards = m.forwards.load(std::memory_order_relaxed);
+  s.steals = m.steals.load(std::memory_order_relaxed);
+  s.balance_moves = m.balance_moves.load(std::memory_order_relaxed);
+  return s;
+}
+
 /// A mutex-guarded deque of work units. Owners push/pop at the back
-/// (depth-first locality); the balancer harvests from the front (the
-/// shallowest, largest-subtree units travel best).
+/// (depth-first locality); the balancer and thieves harvest from the
+/// front (the shallowest, largest-subtree units travel best).
 template <typename T>
 class WorkQueue {
  public:
@@ -51,7 +97,7 @@ class WorkQueue {
     return true;
   }
 
-  /// Harvests up to `max_units` from the front (balancer side).
+  /// Harvests up to `max_units` from the front (balancer/thief side).
   std::vector<T> HarvestFront(size_t max_units) {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<T> out;
@@ -72,6 +118,163 @@ class WorkQueue {
  private:
   mutable std::mutex mu_;
   std::deque<T> items_;
+};
+
+/// p work queues + p workers, with unit-count termination, work stealing
+/// and message accounting. Every unit that crosses a queue boundary after
+/// its initial placement — forwarded to an owner fragment, stolen by an
+/// idle worker, or moved by an external balancer — is one simulated
+/// message; locally spawned children are free.
+template <typename T>
+class WorkStealingPool {
+ public:
+  WorkStealingPool(int p, ClusterMetrics* metrics, bool enable_steal)
+      : queues_(p), metrics_(metrics), enable_steal_(enable_steal) {}
+
+  int num_queues() const { return static_cast<int>(queues_.size()); }
+
+  /// Initial placement of a unit on fragment `target`'s queue (no
+  /// message: seeds are born where their data lives).
+  void Seed(int target, T unit) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    queues_[target].Push(std::move(unit));
+  }
+
+  /// Child unit spawned onto the processing worker's own queue.
+  void SpawnLocal(int worker, T unit) { Seed(worker, std::move(unit)); }
+
+  /// Ships a unit to another fragment's queue: one simulated message
+  /// carrying the partial match.
+  void Forward(int target, T unit) {
+    metrics_->forwards.fetch_add(1, std::memory_order_relaxed);
+    metrics_->messages.fetch_add(1, std::memory_order_relaxed);
+    Seed(target, std::move(unit));
+  }
+
+  std::vector<size_t> QueueSizes() const {
+    std::vector<size_t> sizes(queues_.size());
+    for (size_t i = 0; i < queues_.size(); ++i) sizes[i] = queues_[i].size();
+    return sizes;
+  }
+
+  /// Balancer primitives: moved units stay in flight; the caller charges
+  /// its own metrics (balance_moves + messages).
+  std::vector<T> HarvestFront(int from, size_t max_units) {
+    return queues_[from].HarvestFront(max_units);
+  }
+  void PushMany(int to, std::vector<T>&& units) {
+    queues_[to].PushMany(std::move(units));
+  }
+
+  /// Runs `process(worker, unit)` on p workers until every unit (and
+  /// every unit they spawn) has drained. `tick()` runs on the calling
+  /// thread every ~200µs while workers are live — the balancer hook.
+  template <typename ProcessFn, typename TickFn>
+  void Run(ProcessFn&& process, TickFn&& tick) {
+    done_.store(false, std::memory_order_release);
+    std::vector<std::thread> workers;
+    workers.reserve(queues_.size());
+    for (int i = 0; i < num_queues(); ++i) {
+      workers.emplace_back(
+          [this, i, &process]() { WorkerLoop(i, process); });
+    }
+    while (in_flight_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      tick();
+    }
+    done_.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+  }
+
+ private:
+  template <typename ProcessFn>
+  void WorkerLoop(int worker, ProcessFn& process) {
+    while (true) {
+      T unit;
+      if (queues_[worker].TryPopBack(&unit)) {
+        process(worker, unit);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      if (enable_steal_ && TrySteal(worker)) continue;
+      if (done_.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  /// Steals half of the longest other queue (front side) into the idle
+  /// worker's queue; each stolen unit is one simulated message.
+  bool TrySteal(int worker) {
+    int victim = -1;
+    size_t longest = 0;
+    for (int i = 0; i < num_queues(); ++i) {
+      if (i == worker) continue;
+      const size_t s = queues_[i].size();
+      if (s > longest) {
+        longest = s;
+        victim = i;
+      }
+    }
+    if (victim < 0) return false;
+    std::vector<T> moved =
+        queues_[victim].HarvestFront(std::max<size_t>(1, longest / 2));
+    if (moved.empty()) return false;
+    metrics_->steals.fetch_add(moved.size(), std::memory_order_relaxed);
+    metrics_->messages.fetch_add(moved.size(), std::memory_order_relaxed);
+    queues_[worker].PushMany(std::move(moved));
+    return true;
+  }
+
+  std::vector<WorkQueue<T>> queues_;
+  ClusterMetrics* metrics_;
+  const bool enable_steal_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> done_{false};
+};
+
+/// The fragmented graph: p FragmentSnapshots over one Partition. Owns the
+/// per-fragment CSRs (built in parallel) and answers ownership queries;
+/// per-call engines own their ClusterMetrics and charge replication from
+/// total_halo_nodes(). A runtime outlives rule sets whose max pattern
+/// diameter fits halo_hops(), so benchmarks and the future ngdd daemon
+/// build (or Load) it once and amortize across detection calls.
+class FragmentRuntime {
+ public:
+  /// Partitions `view` of `g` into p fragments (label/degree-aware LDG)
+  /// and builds every FragmentSnapshot with `halo_hops`-hop halos.
+  FragmentRuntime(const Graph& g, int p, GraphView view, int halo_hops,
+                  const PartitionOptions& popts = {});
+
+  /// Builds fragments over a caller-supplied partition.
+  FragmentRuntime(const Graph& g, Partition part, GraphView view,
+                  int halo_hops);
+
+  int num_fragments() const { return static_cast<int>(fragments_.size()); }
+  GraphView view() const { return view_; }
+  int halo_hops() const { return halo_hops_; }
+  const Partition& partition() const { return partition_; }
+  const FragmentSnapshot& fragment(int f) const { return fragments_[f]; }
+  int OwnerOf(NodeId v) const { return partition_.fragment_of[v]; }
+
+  /// Σ_f |halo(f)| — the honest replicated_nodes figure.
+  uint64_t total_halo_nodes() const;
+
+  /// Warm-start persistence: fragment f goes to "<prefix>.f<f>.ngdfrag".
+  Status Save(const std::string& prefix) const;
+  /// Loads p fragment files saved by Save, revalidating that they form a
+  /// consistent fragmentation (every node owned exactly once, matching
+  /// halo depth/view). Partition stats (boundary sets, crossing edges)
+  /// are reconstructed from the fragment CSRs — exact when halo_hops >= 1.
+  static StatusOr<FragmentRuntime> Load(const std::string& prefix, int p,
+                                        SchemaPtr schema);
+
+ private:
+  FragmentRuntime() = default;
+
+  GraphView view_ = GraphView::kNew;
+  int halo_hops_ = 0;
+  Partition partition_;
+  std::vector<FragmentSnapshot> fragments_;
 };
 
 }  // namespace ngd

@@ -4,9 +4,23 @@
 // fragments with METIS). The algorithms only depend on fragment locality
 // — which nodes are co-resident and how many edges cross fragments — so a
 // balanced streaming partitioner preserves their behaviour. We implement
-// Linear Deterministic Greedy (LDG): nodes are streamed in id order and
-// placed in the fragment holding most of their already-placed neighbors,
-// weighted by remaining capacity.
+// Linear Deterministic Greedy (LDG), label- and degree-aware:
+//
+//   - nodes are streamed in descending-degree order (ties by id), so hubs
+//     are spread across fragments before their spokes arrive and the
+//     spokes then cluster around them;
+//   - each node goes to the fragment holding most of its already-placed
+//     neighbors, weighted by remaining capacity, with a small affinity
+//     bonus for fragments already rich in the node's label — candidate
+//     scans C(u) are label-indexed, so co-locating a label keeps seed
+//     enumeration fragment-local for the rules that select it;
+//   - when every fragment is at capacity the node falls back to the
+//     least-loaded fragment (overflow must not skew onto fragment 0).
+//
+// The result carries full ownership structure: fragment_of, per-fragment
+// member lists, and per-fragment boundary sets (owned nodes with at least
+// one crossing edge) — the seeds of the halo replication that
+// FragmentSnapshot performs (parallel/fragment.h).
 
 #ifndef NGD_PARALLEL_PARTITIONER_H_
 #define NGD_PARALLEL_PARTITIONER_H_
@@ -17,14 +31,36 @@
 
 namespace ngd {
 
-struct PartitionResult {
+struct PartitionOptions {
+  /// Per-fragment node capacity; 0 = auto (|V|/p plus one node of slack,
+  /// always feasible). Tighter explicit capacities force overflow and
+  /// exercise the least-loaded fallback.
+  double capacity = 0.0;
+  /// Weight of the label co-location bonus relative to one placed
+  /// neighbor. 0 disables label awareness.
+  double label_affinity = 0.25;
+  /// Stream nodes in descending-degree order (ties by id). Off = id
+  /// order, the classic LDG stream.
+  bool degree_order = true;
+};
+
+struct Partition {
+  int num_fragments = 1;
   std::vector<int> fragment_of;  ///< node id -> fragment [0, p)
   std::vector<size_t> fragment_sizes;
+  /// Per-fragment owned node ids, ascending.
+  std::vector<std::vector<NodeId>> members;
+  /// Per-fragment boundary set: owned nodes with >= 1 edge (either
+  /// direction, in `view`) to a node owned elsewhere; ascending.
+  std::vector<std::vector<NodeId>> boundary;
   size_t crossing_edges = 0;  ///< edges with endpoints in two fragments
 };
 
-/// Partitions nodes of `g` (kNew view) into `p` balanced fragments.
-PartitionResult PartitionGraph(const Graph& g, int p);
+/// Partitions the nodes of `view` of `g` into `p` balanced fragments.
+/// Deterministic: same (g, p, view, opts) -> same Partition.
+Partition PartitionGraph(const Graph& g, int p,
+                         GraphView view = GraphView::kNew,
+                         const PartitionOptions& opts = {});
 
 }  // namespace ngd
 

@@ -1,35 +1,66 @@
-// PDect: parallel batch detection (the baseline of paper §5.1 / §7,
+// PDect: parallel batch detection, fragment-native (paper §5.1 / §7,
 // extended from the GFD algorithms of Fan-Wu-Xu SIGMOD'16 [24]).
 //
-// Seeds (candidates of each NGD's most selective pattern node) are
-// STATICALLY assigned to processors by the fragment of the seed node —
-// faithfully reproducing the static workload partitioning that the paper
-// points out "hampers the parallel scalability of the batch algorithms
-// when being incrementalized" (§5.2). Each processor expands its seeds
-// recursively and the local violation sets are unioned.
+// The graph is fragmented across p processors (FragmentRuntime,
+// parallel/cluster.h): each fragment holds the induced CSR of its owned
+// nodes plus a d_Σ-hop halo of replicated boundary neighbors. Detection
+// is owner-computes: every match is seeded exactly once cluster-wide, by
+// the fragment that OWNS the candidate bound to the rule's start node
+// (FragmentCandidates enumerates owned candidates only). Expansion runs
+// against the fragment CSR; because every two nodes of one match are
+// within graph distance d_Σ of each other, the halo makes local
+// expansion exact (see parallel/fragment.h for the argument).
+//
+// Boundary-crossing matches are resolved by the paper's §7 hybrid
+// policy, per expansion step with a non-owned (halo) anchor:
+//   - read the halo adjacency locally — one simulated message per
+//     halo-anchored adjacency scan (the replica must be fetched); or
+//   - forward the partial match to the anchor's owner when the cost
+//     model C·(k+1) + |adj|/p < |adj| says shipping k+1 bound nodes
+//     beats shipping the scan — one message, counted in `forwards`.
+// Large owned adjacencies split into p slice units under the same cost
+// model (work-unit splitting, as in PIncDect), and idle processors steal
+// seed chunks across fragments; every stolen or forwarded unit is one
+// simulated message (ClusterMetrics, surfaced in PDectResult).
 
 #ifndef NGD_PARALLEL_PDECT_H_
 #define NGD_PARALLEL_PDECT_H_
 
 #include "detect/dect.h"
-#include "parallel/partitioner.h"
+#include "parallel/cluster.h"
 
 namespace ngd {
 
 struct PDectOptions {
   int num_processors = 4;
   GraphView view = GraphView::kNew;
-  /// kAuto (default): build one CSR GraphSnapshot shared by all workers
-  /// when the Dect cost model says the build amortizes; kAlways/kNever
-  /// force the choice.
-  SnapshotMode snapshot_mode = SnapshotMode::kAuto;
-  /// Pre-built CSR snapshot shared by all workers (e.g. loaded from a
-  /// binary snapshot file, graph/snapshot_io.h). Must describe `view` of
-  /// `g`; overrides snapshot_mode when set.
+  /// Pre-built shared CSR snapshot (e.g. loaded from a binary snapshot
+  /// file): selects the LEGACY shared-memory path — static owner-computes
+  /// seed assignment over one snapshot all workers read, no halos, no
+  /// communication accounting. Kept for callers that already hold a full
+  /// snapshot (ngdcheck) and as the shared-memory baseline.
   const GraphSnapshot* snapshot = nullptr;
-  /// Σ-optimizer (reason/sigma_optimizer.h): kAlways/kAuto seed workers
-  /// from the implication-minimized rule set only (dropped rules assign no
-  /// seeds to any processor) and remap violation indices back to Σ.
+  /// Pre-built fragment runtime to amortize partitioning + fragment CSR
+  /// builds across calls (benchmarks, warm starts via FragmentRuntime::
+  /// Load). Used when it matches: num_fragments == num_processors, same
+  /// view, halo_hops >= max pattern diameter of Σ; otherwise the engine
+  /// builds its own.
+  const FragmentRuntime* runtime = nullptr;
+  /// Communication-latency constant C of the hybrid cost model (the
+  /// paper fixes 60; Fig. 4(m) varies it).
+  double latency_c = 60.0;
+  /// Halo-anchored expansions never forward below this adjacency length.
+  size_t min_forward_adjacency = 8;
+  /// Owned adjacencies never split below this length.
+  size_t min_split_adjacency = 64;
+  /// Seed candidates per work unit (steal/balance granularity).
+  size_t seed_chunk = 256;
+  bool enable_steal = true;    ///< idle workers steal across fragments
+  bool enable_forward = true;  ///< hybrid forward-to-owner at halos
+  bool enable_split = true;    ///< work-unit splitting of hub adjacency
+  /// Σ-optimizer (reason/sigma_optimizer.h): kAlways/kAuto seed fragments
+  /// from the implication-minimized rule set only (dropped rules spawn no
+  /// work units) and remap violation indices back to Σ.
   MinimizeMode minimize_sigma = MinimizeMode::kNever;
   SigmaOptimizerOptions sigma_optimizer = {};
 };
@@ -38,6 +69,12 @@ struct PDectResult {
   VioSet vio;
   double elapsed_seconds = 0.0;
   size_t crossing_edges = 0;  ///< edge-cut of the fragmentation used
+  int fragments = 1;          ///< p actually used
+  /// Communication / balancing counters. replicated_nodes = Σ_f |halo(f)|
+  /// (actual replica volume); messages = halo scans + forwards + steals +
+  /// split broadcasts. Zero on the legacy shared-snapshot path, which
+  /// models a shared-memory machine.
+  ClusterMetricsSnapshot metrics;
 };
 
 PDectResult PDect(const Graph& g, const NgdSet& sigma,

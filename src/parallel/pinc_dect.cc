@@ -24,7 +24,7 @@ class PIncDectEngine {
         p_(std::max(1, opts.num_processors)),
         index_(g, batch),
         nc_(0),
-        queues_(p_),
+        pool_(p_, &metrics_, opts.enable_steal && p_ > 1),
         local_added_(p_),
         local_removed_(p_) {}
 
@@ -92,8 +92,15 @@ class PIncDectEngine {
                                          &ngd.X(), &ngd.Y()));
     }
 
-    // Step 3: evenly partition the pivots across BVio_i.
+    // Step 3: partition the pivots across BVio_i — fragment-affine when a
+    // matching runtime is supplied (the unit starts where its pivot's
+    // source lives), round-robin otherwise. Both are free initial
+    // placements (seeds are born, not sent).
     {
+      const FragmentRuntime* rt =
+          opts_.runtime != nullptr && opts_.runtime->num_fragments() == p_
+              ? opts_.runtime
+              : nullptr;
       size_t i = 0;
       for (const PivotTask& t : tasks) {
         const Ngd& ngd = sigma_[t.ngd_index];
@@ -107,21 +114,37 @@ class PIncDectEngine {
         unit.binding.assign(ngd.pattern().NumNodes(), kInvalidNode);
         unit.binding[pe.src] = u.edge.src;
         unit.binding[pe.dst] = u.edge.dst;
-        in_flight_.fetch_add(1, std::memory_order_relaxed);
-        queues_[i % p_].Push(std::move(unit));
+        int target = static_cast<int>(i % p_);
+        // New nodes created by ΔG postdate the partition; they fall back
+        // to round-robin.
+        if (rt != nullptr &&
+            u.edge.src < rt->partition().fragment_of.size()) {
+          target = rt->OwnerOf(u.edge.src);
+        }
+        unit.home_fragment = target;
+        pool_.Seed(target, std::move(unit));
         ++i;
       }
     }
 
-    // Step 4+5: workers expand; the main thread balances periodically.
-    std::vector<std::thread> workers;
-    workers.reserve(p_);
-    for (int i = 0; i < p_; ++i) {
-      workers.emplace_back([this, i]() { WorkerLoop(i); });
+    // Step 4+5: workers expand (stealing when enabled); the caller thread
+    // runs the skew balancer at its interval via the pool tick.
+    {
+      using namespace std::chrono;
+      auto last_balance = steady_clock::now();
+      pool_.Run(
+          [this](int worker, PWorkUnit& unit) { ProcessUnit(worker, unit); },
+          [&]() {
+            if (!opts_.enable_balance) return;
+            auto now = steady_clock::now();
+            if (duration_cast<milliseconds>(now - last_balance).count() <
+                opts_.balance_interval_ms) {
+              return;
+            }
+            last_balance = now;
+            BalanceOnce();
+          });
     }
-    BalancerLoop();
-    done_.store(true, std::memory_order_release);
-    for (auto& w : workers) w.join();
 
     PIncDectResult result;
     for (int i = 0; i < p_; ++i) {
@@ -134,6 +157,7 @@ class PIncDectEngine {
     result.work_units = metrics_.work_units.load();
     result.splits = metrics_.splits.load();
     result.balance_moves = metrics_.balance_moves.load();
+    result.steals = metrics_.steals.load();
     result.elapsed_seconds = timer.ElapsedSeconds();
     return result;
   }
@@ -148,38 +172,8 @@ class PIncDectEngine {
     return view == GraphView::kNew ? acc_new_ : acc_old_;
   }
 
-  void WorkerLoop(int worker) {
-    while (true) {
-      PWorkUnit unit;
-      if (queues_[worker].TryPopBack(&unit)) {
-        ProcessUnit(worker, unit);
-        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-        continue;
-      }
-      if (done_.load(std::memory_order_acquire)) return;
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-  }
-
-  void BalancerLoop() {
-    using namespace std::chrono;
-    auto last_balance = steady_clock::now();
-    while (in_flight_.load(std::memory_order_acquire) > 0) {
-      std::this_thread::sleep_for(microseconds(200));
-      if (!opts_.enable_balance) continue;
-      auto now = steady_clock::now();
-      if (duration_cast<milliseconds>(now - last_balance).count() <
-          opts_.balance_interval_ms) {
-        continue;
-      }
-      last_balance = now;
-      BalanceOnce();
-    }
-  }
-
   void BalanceOnce() {
-    std::vector<size_t> sizes(p_);
-    for (int i = 0; i < p_; ++i) sizes[i] = queues_[i].size();
+    std::vector<size_t> sizes = pool_.QueueSizes();
     std::vector<double> skew = ComputeSkewness(sizes);
     std::vector<int> receivers;
     for (int i = 0; i < p_; ++i) {
@@ -188,7 +182,7 @@ class PIncDectEngine {
     if (receivers.empty()) return;
     for (int i = 0; i < p_; ++i) {
       if (skew[i] <= opts_.skew_threshold) continue;
-      std::vector<PWorkUnit> moved = queues_[i].HarvestFront(sizes[i] / 2);
+      std::vector<PWorkUnit> moved = pool_.HarvestFront(i, sizes[i] / 2);
       if (moved.empty()) continue;
       metrics_.balance_moves += moved.size();
       metrics_.messages += moved.size();
@@ -199,7 +193,7 @@ class PIncDectEngine {
       }
       for (size_t r = 0; r < receivers.size(); ++r) {
         if (!shares[r].empty()) {
-          queues_[receivers[r]].PushMany(std::move(shares[r]));
+          pool_.PushMany(receivers[r], std::move(shares[r]));
         }
       }
     }
@@ -330,6 +324,7 @@ class PIncDectEngine {
           child.ngd_index = unit.ngd_index;
           child.pattern_edge = unit.pattern_edge;
           child.update_index = unit.update_index;
+          child.home_fragment = unit.home_fragment;
           child.depth = unit.depth + 1;
           child.y_false = unit.y_false;
           child.y_ready = unit.y_ready;
@@ -361,8 +356,7 @@ class PIncDectEngine {
           if (static_cast<size_t>(child.depth) == plan.steps.size()) {
             EmitIfCanonical(worker, child, pattern, kind);
           } else {
-            in_flight_.fetch_add(1, std::memory_order_relaxed);
-            queues_[worker].Push(std::move(child));
+            pool_.SpawnLocal(worker, std::move(child));
           }
           return true;
         });
@@ -378,8 +372,7 @@ class PIncDectEngine {
       PWorkUnit slice = unit;
       slice.slice_begin = static_cast<int32_t>(b);
       slice.slice_end = static_cast<int32_t>(std::min(b + chunk, seq_len));
-      in_flight_.fetch_add(1, std::memory_order_relaxed);
-      queues_[i].Push(std::move(slice));
+      pool_.Seed(i, std::move(slice));
     }
   }
 
@@ -416,11 +409,9 @@ class PIncDectEngine {
   GraphAccessor acc_new_;
   NodeSet nc_;
   std::unordered_map<int64_t, MatchPlan> plans_;
-  std::vector<WorkQueue<PWorkUnit>> queues_;
+  WorkStealingPool<PWorkUnit> pool_;
   std::vector<VioSet> local_added_;
   std::vector<VioSet> local_removed_;
-  std::atomic<size_t> in_flight_{0};
-  std::atomic<bool> done_{false};
   ClusterMetrics metrics_;
 };
 

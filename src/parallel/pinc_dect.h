@@ -58,6 +58,16 @@ struct PIncDectOptions {
   /// Adjacency lists shorter than this never split (guard against
   /// degenerate splits of tiny lists).
   size_t min_split_adjacency = 8;
+  /// Idle processors steal work units across queues (off by default: the
+  /// paper's PIncDect balances by skewness only; stealing is the
+  /// fragment-runtime extension, metered separately in `steals`).
+  bool enable_steal = false;
+  /// Optional fragment runtime (parallel/cluster.h): when set and built
+  /// with num_fragments == num_processors, each pivot's initial work unit
+  /// is placed on the processor owning the pivot's source node —
+  /// fragment-affine placement instead of round-robin. N_C stays
+  /// replicated everywhere, so any processor can still run any unit.
+  const FragmentRuntime* runtime = nullptr;
   /// Σ-optimizer (reason/sigma_optimizer.h): kAlways/kAuto enumerate
   /// pivots, extract N_C and partition workloads over the implication-
   /// minimized rule set only, remapping ΔVio indices back to Σ. kNever
@@ -75,6 +85,7 @@ struct PIncDectResult {
   uint64_t work_units = 0;
   uint64_t splits = 0;
   uint64_t balance_moves = 0;
+  uint64_t steals = 0;
 };
 
 /// Computes ΔVio(Σ, G, ΔG) with p simulated processors. `g` must carry ΔG

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/generators.h"
 #include "parallel/partitioner.h"
 #include "parallel/work_unit.h"
@@ -7,10 +9,41 @@
 namespace ngd {
 namespace {
 
+/// Brute-force recount of the partition's derived structure straight from
+/// the graph: crossing edges, per-fragment sizes, and boundary sets.
+struct Recount {
+  size_t crossing_edges = 0;
+  std::vector<size_t> sizes;
+  std::vector<std::vector<NodeId>> boundary;
+};
+
+Recount RecountFromGraph(const Graph& g, const Partition& r,
+                         GraphView view = GraphView::kNew) {
+  Recount out;
+  out.sizes.assign(r.num_fragments, 0);
+  out.boundary.resize(r.num_fragments);
+  std::vector<bool> crossing(g.NumNodes(), false);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ++out.sizes[r.fragment_of[v]];
+    for (const AdjEntry& e : g.OutEdges(v)) {
+      if (!EdgeInView(e.state, view)) continue;
+      if (r.fragment_of[v] != r.fragment_of[e.other]) {
+        ++out.crossing_edges;
+        crossing[v] = true;
+        crossing[e.other] = true;
+      }
+    }
+  }
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (crossing[v]) out.boundary[r.fragment_of[v]].push_back(v);
+  }
+  return out;
+}
+
 TEST(PartitionerTest, CoversAllNodes) {
   SchemaPtr schema = Schema::Create();
   auto g = GenerateGraph(SyntheticConfig(500, 1500, 3), schema);
-  PartitionResult r = PartitionGraph(*g, 4);
+  Partition r = PartitionGraph(*g, 4);
   ASSERT_EQ(r.fragment_of.size(), g->NumNodes());
   size_t total = 0;
   for (size_t s : r.fragment_sizes) total += s;
@@ -24,7 +57,7 @@ TEST(PartitionerTest, CoversAllNodes) {
 TEST(PartitionerTest, FragmentsAreBalanced) {
   SchemaPtr schema = Schema::Create();
   auto g = GenerateGraph(SyntheticConfig(1000, 3000, 4), schema);
-  PartitionResult r = PartitionGraph(*g, 5);
+  Partition r = PartitionGraph(*g, 5);
   size_t expected = g->NumNodes() / 5;
   for (size_t s : r.fragment_sizes) {
     EXPECT_GE(s, expected * 7 / 10);
@@ -35,9 +68,10 @@ TEST(PartitionerTest, FragmentsAreBalanced) {
 TEST(PartitionerTest, SinglePartitionHasNoCrossingEdges) {
   SchemaPtr schema = Schema::Create();
   auto g = GenerateGraph(SyntheticConfig(200, 500, 5), schema);
-  PartitionResult r = PartitionGraph(*g, 1);
+  Partition r = PartitionGraph(*g, 1);
   EXPECT_EQ(r.crossing_edges, 0u);
   EXPECT_EQ(r.fragment_sizes[0], g->NumNodes());
+  EXPECT_TRUE(r.boundary[0].empty());
 }
 
 TEST(PartitionerTest, LocalityBeatsRandomAssignment) {
@@ -59,7 +93,7 @@ TEST(PartitionerTest, LocalityBeatsRandomAssignment) {
       ASSERT_TRUE(g.AddEdge(base - 1, base, e).ok());
     }
   }
-  PartitionResult ldg = PartitionGraph(g, 5);
+  Partition ldg = PartitionGraph(g, 5);
   size_t random_cut = 0;
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
     for (const auto& adj : g.OutEdges(v)) {
@@ -67,6 +101,73 @@ TEST(PartitionerTest, LocalityBeatsRandomAssignment) {
     }
   }
   EXPECT_LT(ldg.crossing_edges, random_cut / 2);
+}
+
+TEST(PartitionerTest, DerivedStructureMatchesBruteForce) {
+  // members/boundary/crossing_edges are all consistent with fragment_of,
+  // recomputed independently from the graph.
+  SchemaPtr schema = Schema::Create();
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    auto g = GenerateGraph(SyntheticConfig(300, 900, seed), schema);
+    for (int p : {2, 3, 8}) {
+      Partition r = PartitionGraph(*g, p);
+      Recount want = RecountFromGraph(*g, r);
+      EXPECT_EQ(r.crossing_edges, want.crossing_edges)
+          << "seed " << seed << " p " << p;
+      ASSERT_EQ(r.members.size(), static_cast<size_t>(p));
+      for (int f = 0; f < p; ++f) {
+        EXPECT_EQ(r.fragment_sizes[f], want.sizes[f]);
+        EXPECT_EQ(r.members[f].size(), want.sizes[f]);
+        EXPECT_TRUE(std::is_sorted(r.members[f].begin(), r.members[f].end()));
+        for (NodeId v : r.members[f]) EXPECT_EQ(r.fragment_of[v], f);
+        EXPECT_EQ(r.boundary[f], want.boundary[f])
+            << "seed " << seed << " p " << p << " fragment " << f;
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, DeterministicAcrossRuns) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(400, 1200, 9), schema);
+  Partition a = PartitionGraph(*g, 4);
+  Partition b = PartitionGraph(*g, 4);
+  EXPECT_EQ(a.fragment_of, b.fragment_of);
+  EXPECT_EQ(a.crossing_edges, b.crossing_edges);
+}
+
+TEST(PartitionerTest, OverflowFallsBackToLeastLoaded) {
+  // 16 isolated nodes, capacity 2, p = 4: no node has placed neighbors,
+  // so every placement overflows once fragments fill. The fallback must
+  // spread to the least-loaded fragment — {4,4,4,4}, not {10,2,2,2} (the
+  // old code skewed every overflow onto fragment 0).
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  LabelId n = schema->InternLabel("n");
+  for (int i = 0; i < 16; ++i) g.AddNode(n);
+  PartitionOptions opts;
+  opts.capacity = 2;
+  Partition r = PartitionGraph(g, 4, GraphView::kNew, opts);
+  for (size_t s : r.fragment_sizes) EXPECT_EQ(s, 4u);
+}
+
+TEST(PartitionerTest, RespectsGraphView) {
+  // An edge pending deletion keeps its endpoints together in kOld but not
+  // necessarily in kNew; at minimum the views must count crossing edges
+  // against their own edge sets.
+  SchemaPtr schema = Schema::Create();
+  Graph g(schema);
+  LabelId n = schema->InternLabel("n");
+  LabelId e = schema->InternLabel("e");
+  for (int i = 0; i < 8; ++i) g.AddNode(n);
+  for (NodeId v = 0; v + 1 < 8; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1, e).ok());
+  ASSERT_TRUE(g.DeleteEdge(2, 3, e).ok());  // pending: gone in kNew only
+  Partition rold = PartitionGraph(g, 2, GraphView::kOld);
+  Partition rnew = PartitionGraph(g, 2, GraphView::kNew);
+  EXPECT_EQ(rold.crossing_edges,
+            RecountFromGraph(g, rold, GraphView::kOld).crossing_edges);
+  EXPECT_EQ(rnew.crossing_edges,
+            RecountFromGraph(g, rnew, GraphView::kNew).crossing_edges);
 }
 
 TEST(SkewnessTest, ComputesRelativeLoad) {
