@@ -13,11 +13,25 @@ namespace {
 /// snapshot, across all rules of the call). A callback returning false
 /// ends that rule's search; it aborts the remaining rules too only when
 /// `stop_sweep_on_false` is set (the first-witness early exit).
+///
+/// `cancel` (optional) is polled between rules and inside the expansion
+/// loops; a trip marks the interrupted rule and every rule after it
+/// incomplete in `info` and sets info->truncated. `info` must be sized
+/// to sigma already (StartFull).
 template <typename PerViolation>
 void SweepRules(const Graph& g, const GraphSnapshot* snap,
                 const NgdSet& sigma, GraphView view,
-                bool stop_sweep_on_false, const PerViolation& callback) {
+                bool stop_sweep_on_false, CancelCheck* cancel,
+                DetectRunInfo* info, const PerViolation& callback) {
+  auto mark_truncated_from = [&](size_t f) {
+    info->truncated = true;
+    for (size_t r = f; r < sigma.size(); ++r) info->rule_completed[r] = 0;
+  };
   for (size_t f = 0; f < sigma.size(); ++f) {
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      mark_truncated_from(f);
+      return;
+    }
     const Ngd& ngd = sigma[f];
     SearchConfig cfg;
     cfg.graph = &g;
@@ -27,6 +41,7 @@ void SweepRules(const Graph& g, const GraphSnapshot* snap,
     cfg.y = &ngd.Y();
     cfg.view = view;
     cfg.find_violations = true;
+    cfg.cancel = cancel;
     const int start = ChooseStartNode(ngd.pattern(), cfg.MakeAccessor());
     const MatchPlan plan =
         BuildMatchPlan(ngd.pattern(), {start}, &ngd.X(), &ngd.Y());
@@ -34,11 +49,26 @@ void SweepRules(const Graph& g, const GraphSnapshot* snap,
         cfg, start, plan, [&](const Binding& binding) {
           return callback(static_cast<int>(f), binding);
         });
+    if (cancel != nullptr && cancel->Stopped()) {
+      // Cancel/deadline stop, not a callback stop: rule f is incomplete.
+      mark_truncated_from(f);
+      return;
+    }
     if (!completed && stop_sweep_on_false) return;
   }
 }
 
 }  // namespace
+
+void RemapRunInfo(const DetectRunInfo& inner, const std::vector<int>& kept,
+                  size_t original_rules, DetectRunInfo* out) {
+  out->truncated = inner.truncated;
+  out->rule_completed.assign(original_rules, inner.truncated ? 0 : 1);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    out->rule_completed[static_cast<size_t>(kept[i])] =
+        i < inner.rule_completed.size() ? inner.rule_completed[i] : 0;
+  }
+}
 
 bool WantSnapshot(const Graph& g, const NgdSet& sigma) {
   if (g.NumEdges(GraphView::kNew) + g.NumEdges(GraphView::kOld) == 0) {
@@ -81,7 +111,13 @@ VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
   DectOptions inner;
   MinimizedSigma m;
   if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
-    return RemapViolations(Dect(g, m.sigma, inner), m.report.kept);
+    DetectRunInfo inner_info;
+    inner.run_info = &inner_info;
+    VioSet vio = RemapViolations(Dect(g, m.sigma, inner), m.report.kept);
+    if (opts.run_info != nullptr) {
+      RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
+    }
+    return vio;
   }
 
   std::optional<GraphSnapshot> snap;
@@ -91,11 +127,18 @@ VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
     use_snap = &*snap;
   }
 
+  DetectRunInfo local_info;
+  DetectRunInfo* info = opts.run_info != nullptr ? opts.run_info : &local_info;
+  info->StartFull(sigma.size());
+  CancelCheck check(opts.cancel, opts.deadline);
+  CancelCheck* cancel = check.active() ? &check : nullptr;
+
   VioSet vio;
   int current_ngd = -1;
   size_t found = 0;
   SweepRules(g, use_snap, sigma, opts.view,
-             /*stop_sweep_on_false=*/false, [&](int f, const Binding& binding) {
+             /*stop_sweep_on_false=*/false, cancel, info,
+             [&](int f, const Binding& binding) {
                if (f != current_ngd) {
                  current_ngd = f;
                  found = 0;
@@ -119,10 +162,15 @@ std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
   DectOptions inner;
   MinimizedSigma m;
   if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
+    DetectRunInfo inner_info;
+    inner.run_info = &inner_info;
     std::optional<Violation> witness = FindAnyViolation(g, m.sigma, inner);
     if (witness.has_value()) {
       witness->ngd_index =
           m.report.kept[static_cast<size_t>(witness->ngd_index)];
+    }
+    if (opts.run_info != nullptr) {
+      RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
     }
     return witness;
   }
@@ -137,9 +185,15 @@ std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
     snap.emplace(g, opts.view);
     use_snap = &*snap;
   }
+  DetectRunInfo local_info;
+  DetectRunInfo* info = opts.run_info != nullptr ? opts.run_info : &local_info;
+  info->StartFull(sigma.size());
+  CancelCheck check(opts.cancel, opts.deadline);
+  CancelCheck* cancel = check.active() ? &check : nullptr;
+
   std::optional<Violation> witness;
   SweepRules(g, use_snap, sigma, opts.view,
-             /*stop_sweep_on_false=*/true,
+             /*stop_sweep_on_false=*/true, cancel, info,
              [&](int f, const Binding& binding) {
                witness = Violation{f, binding};
                return false;  // stop at first violation

@@ -23,6 +23,7 @@
 #include "detect/violation.h"
 #include "match/homomorphism.h"
 #include "reason/sigma_optimizer.h"
+#include "util/cancel.h"
 
 namespace ngd {
 
@@ -30,6 +31,24 @@ enum class SnapshotMode : uint8_t {
   kAuto = 0,  ///< cost model decides (WantSnapshot)
   kAlways,    ///< always build + match against the CSR snapshot
   kNever,     ///< always match against the live overlay graph
+};
+
+/// Honest-partial-result report of one detection run (all engines). When
+/// a run is cancelled or hits its deadline it returns the violations
+/// found so far with `truncated` set; `rule_completed[f]` says whether
+/// rule f's enumeration finished, i.e. whether its reported violations
+/// are the complete set for that rule. An untruncated run marks every
+/// rule completed. Under Σ-minimization the marks are remapped to the
+/// caller's catalog; a dropped (implied) rule counts completed only when
+/// the whole minimized run completed.
+struct DetectRunInfo {
+  bool truncated = false;
+  std::vector<char> rule_completed;  // indexed by the caller's Σ
+
+  void StartFull(size_t num_rules) {
+    truncated = false;
+    rule_completed.assign(num_rules, 1);
+  }
 };
 
 struct DectOptions {
@@ -50,7 +69,23 @@ struct DectOptions {
   /// report none — any graph violating them also violates a kept rule.
   MinimizeMode minimize_sigma = MinimizeMode::kNever;
   SigmaOptimizerOptions sigma_optimizer = {};
+  /// Graceful degradation: an externally cancellable run and/or a time
+  /// budget. When either trips mid-sweep the engine stops expanding,
+  /// returns the violations found so far, and reports the partial-result
+  /// shape through `run_info`. The process never aborts.
+  CancelToken* cancel = nullptr;
+  Deadline deadline = {};
+  /// Optional out-param (must outlive the call): filled on every run,
+  /// truncated or not. Engines re-entering under Σ-minimization remap it.
+  DetectRunInfo* run_info = nullptr;
 };
+
+/// Remaps a DetectRunInfo produced against a minimized Σ back to the
+/// caller's catalog: kept rules copy their marks; dropped (implied) rules
+/// are complete iff the minimized run was untruncated (their coverage
+/// argument needs the kept rules fully enumerated).
+void RemapRunInfo(const DetectRunInfo& inner, const std::vector<int>& kept,
+                  size_t original_rules, DetectRunInfo* out);
 
 /// The kAuto cost model: true when the seed-candidate volume of Σ (the
 /// adjacency the live engine would stream) is large enough to amortize

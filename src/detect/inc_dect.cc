@@ -270,8 +270,13 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
   IncDectOptions inner;
   MinimizedSigma m;
   if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
+    DetectRunInfo inner_info;
+    inner.run_info = &inner_info;
     auto delta = IncDect(g, m.sigma, batch, inner);
     if (!delta.ok()) return delta;
+    if (opts.run_info != nullptr) {
+      RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
+    }
     return RemapDelta(*std::move(delta), m.report.kept);
   }
 
@@ -310,8 +315,24 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
     return plans.emplace(key, std::move(plan)).first->second;
   };
 
+  DetectRunInfo local_info;
+  DetectRunInfo* info = opts.run_info != nullptr ? opts.run_info : &local_info;
+  info->StartFull(sigma.size());
+  CancelCheck check(opts.cancel, opts.deadline);
+  CancelCheck* cancel = check.active() ? &check : nullptr;
+
   DeltaVio delta;
-  for (const PivotTask& task : tasks) {
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const PivotTask& task = tasks[t];
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      // A rule's delta is complete only when all its pivot tasks ran; the
+      // interrupted task and everything after it mark their rules.
+      info->truncated = true;
+      for (size_t r = t; r < tasks.size(); ++r) {
+        info->rule_completed[static_cast<size_t>(tasks[r].ngd_index)] = 0;
+      }
+      break;
+    }
     if (area.has_value() && !area->RuleCanMatch(task.ngd_index)) continue;
     const Ngd& ngd = sigma[task.ngd_index];
     const EffectiveUpdate& u = index.updates()[task.update_index];
@@ -334,6 +355,7 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
     cfg.node_scope =
         area.has_value() ? area->ScopeOf(task.ngd_index) : nullptr;
     cfg.find_violations = true;
+    cfg.cancel = cancel;
 
     Binding binding(ngd.pattern().NumNodes(), kInvalidNode);
     binding[pe.src] = u.edge.src;
@@ -358,6 +380,13 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
                       }
                       return true;
                     });
+    if (cancel != nullptr && cancel->Stopped()) {
+      info->truncated = true;
+      for (size_t r = t; r < tasks.size(); ++r) {
+        info->rule_completed[static_cast<size_t>(tasks[r].ngd_index)] = 0;
+      }
+      break;
+    }
   }
   return delta;
 }

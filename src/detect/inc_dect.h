@@ -207,6 +207,13 @@ struct IncDectOptions {
   /// kNever (default) is the oracle.
   MinimizeMode minimize_sigma = MinimizeMode::kNever;
   SigmaOptimizerOptions sigma_optimizer = {};
+  /// Graceful degradation (see DectOptions): cancelled/deadlined runs
+  /// return the ΔVio prefix found so far; `run_info` reports `truncated`
+  /// and which rules' deltas are complete (a rule is complete when every
+  /// one of its pivot tasks finished).
+  CancelToken* cancel = nullptr;
+  Deadline deadline = {};
+  DetectRunInfo* run_info = nullptr;
 };
 
 /// The kAuto cost model: true when the depth-1 frontier the pivot tasks

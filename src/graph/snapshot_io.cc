@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/fs.h"
+
 namespace ngd {
 
 namespace {
@@ -658,12 +660,8 @@ StatusOr<std::unique_ptr<GraphSnapshot>> DeserializeSnapshot(
 
 Status SaveSnapshotFile(const GraphSnapshot& snap, const std::string& path) {
   NGD_ASSIGN_OR_RETURN(std::string image, SerializeSnapshot(snap));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::NotFound("cannot open " + path);
-  out.write(image.data(), static_cast<std::streamsize>(image.size()));
-  out.flush();
-  if (!out.good()) return Status::Internal("write failed for " + path);
-  return Status::OK();
+  // Atomic replace: a crash mid-save must leave the previous file intact.
+  return WriteFileAtomic(path, image, "snapshot_write");
 }
 
 StatusOr<std::unique_ptr<GraphSnapshot>> LoadSnapshotFile(

@@ -1,0 +1,592 @@
+#include "graph/update_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "graph/graph_io.h"
+#include "graph/snapshot.h"
+#include "graph/snapshot_io.h"
+#include "util/fs.h"
+#include "util/hash.h"
+
+namespace ngd {
+namespace {
+
+constexpr uint32_t kEndianProbe = 0x01020304;
+constexpr size_t kWalHeaderBytes = 24;    // magic + version + endian + base
+constexpr size_t kRecordHeaderBytes = 24;  // len + kind + epoch + checksum
+constexpr uint32_t kRecordKindEpoch = 0;
+
+// ---- little-endian scalar IO ----------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Reader {
+  const unsigned char* p;
+  size_t n;
+  size_t off = 0;
+
+  bool U8(uint8_t* v) {
+    if (off + 1 > n) return false;
+    *v = p[off++];
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (off + 4 > n) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= uint32_t(p[off + i]) << (8 * i);
+    off += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (off + 8 > n) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= uint64_t(p[off + i]) << (8 * i);
+    off += 8;
+    return true;
+  }
+  bool Str(std::string* v) {
+    uint32_t len;
+    if (!U32(&len)) return false;
+    if (off + len > n) return false;
+    v->assign(reinterpret_cast<const char*>(p + off), len);
+    off += len;
+    return true;
+  }
+  bool AtEnd() const { return off == n; }
+};
+
+// ---- epoch payload codec ---------------------------------------------------
+
+/// Interns a name into the record-local string table.
+uint32_t TableIndex(std::vector<std::string>* table,
+                    std::unordered_map<std::string, uint32_t>* index,
+                    const std::string& name) {
+  auto it = index->find(name);
+  if (it != index->end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(table->size());
+  table->push_back(name);
+  index->emplace(name, id);
+  return id;
+}
+
+std::string SerializeEpochPayload(const EpochRecord& rec) {
+  // Record-local string tables so the record is schema-independent.
+  std::vector<std::string> labels, attrs;
+  std::unordered_map<std::string, uint32_t> label_idx, attr_idx;
+  std::vector<uint32_t> node_labels, update_labels;
+  std::vector<std::vector<uint32_t>> node_attr_ids;
+  node_labels.reserve(rec.new_nodes.size());
+  for (const EpochRecord::NewNode& nn : rec.new_nodes) {
+    node_labels.push_back(TableIndex(&labels, &label_idx, nn.label));
+    std::vector<uint32_t> ids;
+    ids.reserve(nn.attrs.size());
+    for (const auto& [name, value] : nn.attrs) {
+      ids.push_back(TableIndex(&attrs, &attr_idx, name));
+    }
+    node_attr_ids.push_back(std::move(ids));
+  }
+  update_labels.reserve(rec.updates.size());
+  for (const EpochRecord::EdgeUpdate& u : rec.updates) {
+    update_labels.push_back(TableIndex(&labels, &label_idx, u.label));
+  }
+
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(labels.size()));
+  for (const std::string& s : labels) PutStr(&out, s);
+  PutU32(&out, static_cast<uint32_t>(attrs.size()));
+  for (const std::string& s : attrs) PutStr(&out, s);
+
+  PutU32(&out, rec.first_new_node);
+  PutU32(&out, static_cast<uint32_t>(rec.new_nodes.size()));
+  for (size_t i = 0; i < rec.new_nodes.size(); ++i) {
+    const EpochRecord::NewNode& nn = rec.new_nodes[i];
+    PutU32(&out, node_labels[i]);
+    PutU32(&out, static_cast<uint32_t>(nn.attrs.size()));
+    for (size_t a = 0; a < nn.attrs.size(); ++a) {
+      PutU32(&out, node_attr_ids[i][a]);
+      const Value& v = nn.attrs[a].second;
+      if (v.is_int()) {
+        PutU8(&out, 0);
+        PutU64(&out, static_cast<uint64_t>(v.AsInt()));
+      } else {
+        PutU8(&out, 1);
+        PutStr(&out, v.AsString());
+      }
+    }
+  }
+
+  PutU32(&out, static_cast<uint32_t>(rec.updates.size()));
+  for (size_t i = 0; i < rec.updates.size(); ++i) {
+    const EpochRecord::EdgeUpdate& u = rec.updates[i];
+    PutU8(&out, static_cast<uint8_t>(u.kind));
+    PutU32(&out, u.src);
+    PutU32(&out, u.dst);
+    PutU32(&out, update_labels[i]);
+  }
+  return out;
+}
+
+Status ParseEpochPayload(const unsigned char* bytes, size_t n, uint64_t epoch,
+                         EpochRecord* rec) {
+  Reader r{bytes, n};
+  Status bad = Status::Corruption("malformed journal record payload (epoch " +
+                                  std::to_string(epoch) + ")");
+  uint32_t num_labels;
+  if (!r.U32(&num_labels)) return bad;
+  std::vector<std::string> labels(num_labels);
+  for (std::string& s : labels) {
+    if (!r.Str(&s)) return bad;
+  }
+  uint32_t num_attrs;
+  if (!r.U32(&num_attrs)) return bad;
+  std::vector<std::string> attrs(num_attrs);
+  for (std::string& s : attrs) {
+    if (!r.Str(&s)) return bad;
+  }
+
+  rec->epoch = epoch;
+  uint32_t first_new_node, num_new_nodes;
+  if (!r.U32(&first_new_node) || !r.U32(&num_new_nodes)) return bad;
+  rec->first_new_node = first_new_node;
+  rec->new_nodes.clear();
+  rec->new_nodes.reserve(num_new_nodes);
+  for (uint32_t i = 0; i < num_new_nodes; ++i) {
+    EpochRecord::NewNode nn;
+    uint32_t label, nattr;
+    if (!r.U32(&label) || label >= num_labels || !r.U32(&nattr)) return bad;
+    nn.label = labels[label];
+    nn.attrs.reserve(nattr);
+    for (uint32_t a = 0; a < nattr; ++a) {
+      uint32_t attr;
+      uint8_t tag;
+      if (!r.U32(&attr) || attr >= num_attrs || !r.U8(&tag)) return bad;
+      if (tag == 0) {
+        uint64_t v;
+        if (!r.U64(&v)) return bad;
+        nn.attrs.emplace_back(attrs[attr], Value(static_cast<int64_t>(v)));
+      } else if (tag == 1) {
+        std::string s;
+        if (!r.Str(&s)) return bad;
+        nn.attrs.emplace_back(attrs[attr], Value(std::move(s)));
+      } else {
+        return bad;
+      }
+    }
+    rec->new_nodes.push_back(std::move(nn));
+  }
+
+  uint32_t num_updates;
+  if (!r.U32(&num_updates)) return bad;
+  rec->updates.clear();
+  rec->updates.reserve(num_updates);
+  for (uint32_t i = 0; i < num_updates; ++i) {
+    EpochRecord::EdgeUpdate u;
+    uint8_t kind;
+    uint32_t label;
+    if (!r.U8(&kind) || kind > 1 || !r.U32(&u.src) || !r.U32(&u.dst) ||
+        !r.U32(&label) || label >= num_labels) {
+      return bad;
+    }
+    u.kind = static_cast<UpdateKind>(kind);
+    u.label = labels[label];
+    rec->updates.push_back(std::move(u));
+  }
+  if (!r.AtEnd()) return bad;  // trailing garbage inside a checksummed record
+  return Status::OK();
+}
+
+std::string SerializeWalHeader(uint64_t base_epoch) {
+  std::string h;
+  h.append(kWalMagic, sizeof(kWalMagic));
+  PutU32(&h, kWalFormatVersion);
+  PutU32(&h, kEndianProbe);
+  PutU64(&h, base_epoch);
+  return h;
+}
+
+// ---- journal image scan ----------------------------------------------------
+
+struct ScanState {
+  uint64_t base_epoch = 0;
+  uint64_t last_epoch = 0;
+  size_t records = 0;
+  size_t good_end = 0;  // byte offset after the last good record
+};
+
+/// Validates the header and walks records, applying the tail policy from
+/// the header comment in update_log.h. `out` (optional) receives parsed
+/// records. Returns kCorruption only for damage that cannot be a torn
+/// append; a torn tail just stops the scan (good_end < image size).
+Status ScanLogImage(std::string_view image, const std::string& path,
+                    std::vector<EpochRecord>* out, ScanState* scan) {
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(image.data());
+  if (image.size() < kWalHeaderBytes) {
+    return Status::Corruption("journal header truncated: " + path);
+  }
+  if (std::memcmp(bytes, kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Corruption("not an NGDWAL1 journal: " + path);
+  }
+  Reader h{bytes + sizeof(kWalMagic), kWalHeaderBytes - sizeof(kWalMagic)};
+  uint32_t version, endian;
+  uint64_t base_epoch;
+  (void)h.U32(&version);
+  (void)h.U32(&endian);
+  (void)h.U64(&base_epoch);
+  if (version != kWalFormatVersion) {
+    return Status::Corruption("unsupported journal version " +
+                              std::to_string(version) + ": " + path);
+  }
+  if (endian != kEndianProbe) {
+    return Status::Corruption("journal endianness mismatch: " + path);
+  }
+
+  scan->base_epoch = base_epoch;
+  scan->last_epoch = base_epoch;
+  scan->good_end = kWalHeaderBytes;
+  size_t off = kWalHeaderBytes;
+  while (off < image.size()) {
+    // A record whose header or payload runs past EOF is a torn tail.
+    if (off + kRecordHeaderBytes > image.size()) break;
+    Reader r{bytes + off, kRecordHeaderBytes};
+    uint32_t payload_len, kind;
+    uint64_t epoch, checksum;
+    (void)r.U32(&payload_len);
+    (void)r.U32(&kind);
+    (void)r.U64(&epoch);
+    (void)r.U64(&checksum);
+    const size_t end = off + kRecordHeaderBytes + payload_len;
+    if (end > image.size() || end < off) break;  // torn tail (or mad length)
+    if (Fnv1a64(bytes + off + kRecordHeaderBytes, payload_len) != checksum) {
+      if (end == image.size()) break;  // bit-rot on the final append: torn
+      // An all-zero suffix is a torn append onto pre-zeroed blocks, not
+      // mid-file damage: no committed record can live inside it (even an
+      // empty payload has a nonzero FNV-1a checksum, so an all-zero
+      // header never validates). Anything nonzero past a bad record is
+      // damage to data we once acknowledged, and must not be dropped.
+      bool zero_suffix = true;
+      for (size_t i = off; i < image.size(); ++i) {
+        if (bytes[i] != 0) {
+          zero_suffix = false;
+          break;
+        }
+      }
+      if (zero_suffix) break;  // torn tail
+      return Status::Corruption("journal record checksum mismatch at offset " +
+                                std::to_string(off) + ": " + path);
+    }
+    if (kind != kRecordKindEpoch) {
+      return Status::Corruption("unknown journal record kind " +
+                                std::to_string(kind) + ": " + path);
+    }
+    if (epoch != scan->last_epoch + 1) {
+      return Status::Corruption(
+          "journal epoch discontinuity (have " + std::to_string(epoch) +
+          ", want " + std::to_string(scan->last_epoch + 1) + "): " + path);
+    }
+    if (out != nullptr) {
+      EpochRecord rec;
+      NGD_RETURN_IF_ERROR(ParseEpochPayload(bytes + off + kRecordHeaderBytes,
+                                            payload_len, epoch, &rec));
+      out->push_back(std::move(rec));
+    }
+    scan->last_epoch = epoch;
+    ++scan->records;
+    scan->good_end = end;
+    off = end;
+  }
+  return Status::OK();
+}
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// ---- EpochRecord -----------------------------------------------------------
+
+EpochRecord EpochRecord::Capture(const Graph& g, const UpdateBatch& batch,
+                                 NodeId first_new_node, uint64_t epoch) {
+  EpochRecord rec;
+  rec.epoch = epoch;
+  rec.first_new_node = first_new_node;
+  const SchemaPtr& schema = g.schema();
+  for (NodeId v = first_new_node; v < g.NumNodes(); ++v) {
+    NewNode nn;
+    nn.label = g.NodeLabelName(v);
+    for (const auto& [attr, value] : g.Attrs(v)) {
+      nn.attrs.emplace_back(schema->attrs().NameOf(attr), value);
+    }
+    rec.new_nodes.push_back(std::move(nn));
+  }
+  rec.updates.reserve(batch.updates.size());
+  for (const UnitUpdate& u : batch.updates) {
+    rec.updates.push_back(
+        EdgeUpdate{u.kind, u.src, u.dst, schema->labels().NameOf(u.label)});
+  }
+  return rec;
+}
+
+Status EpochRecord::ApplyTo(Graph* g) const {
+  const size_t have = g->NumNodes();
+  const uint64_t want_end =
+      uint64_t{first_new_node} + new_nodes.size();  // no u32 overflow
+  if (first_new_node > have) {
+    return Status::Corruption("journal epoch " + std::to_string(epoch) +
+                              " creates nodes from id " +
+                              std::to_string(first_new_node) +
+                              " but the graph has only " +
+                              std::to_string(have));
+  }
+  if (want_end > have && first_new_node != have) {
+    return Status::Corruption("journal epoch " + std::to_string(epoch) +
+                              " node range straddles the graph end");
+  }
+  if (want_end > have) {
+    // First application: append the journaled nodes.
+    for (const NewNode& nn : new_nodes) {
+      NodeId v = g->AddNode(std::string_view(nn.label));
+      for (const auto& [name, value] : nn.attrs) {
+        g->SetAttr(v, std::string_view(name), value);
+      }
+    }
+  } else {
+    // Re-application (idempotent replay): the nodes exist; make sure they
+    // are the nodes the record describes.
+    for (size_t i = 0; i < new_nodes.size(); ++i) {
+      NodeId v = first_new_node + static_cast<NodeId>(i);
+      if (g->NodeLabelName(v) != new_nodes[i].label) {
+        return Status::Corruption(
+            "journal epoch " + std::to_string(epoch) + " node " +
+            std::to_string(v) + " label mismatch on replay");
+      }
+    }
+  }
+
+  UpdateBatch batch;
+  batch.updates.reserve(updates.size());
+  for (const EdgeUpdate& u : updates) {
+    if (u.src >= g->NumNodes() || u.dst >= g->NumNodes()) {
+      g->Rollback();
+      return Status::Corruption("journal epoch " + std::to_string(epoch) +
+                                " references node beyond graph end");
+    }
+    batch.updates.push_back(UnitUpdate{
+        u.kind, u.src, u.dst, g->schema()->InternLabel(u.label)});
+  }
+  Status st = ApplyUpdateBatch(g, &batch);
+  if (!st.ok()) {
+    g->Rollback();
+    return Status::Corruption("journal epoch " + std::to_string(epoch) +
+                              " replay failed: " + st.ToString());
+  }
+  g->Commit();
+  return Status::OK();
+}
+
+// ---- UpdateLog -------------------------------------------------------------
+
+StatusOr<std::unique_ptr<UpdateLog>> UpdateLog::Open(const std::string& path,
+                                                     OpenInfo* info) {
+  auto bytes_or = ReadFileBytes(path);
+  if (!bytes_or.ok() && bytes_or.status().code() != StatusCode::kNotFound) {
+    return bytes_or.status();
+  }
+  if (!bytes_or.ok() || bytes_or->empty()) {
+    NGD_ASSIGN_OR_RETURN(std::unique_ptr<UpdateLog> log, Create(path, 0));
+    if (info != nullptr) {
+      *info = OpenInfo{};
+      info->created = true;
+    }
+    return log;
+  }
+
+  ScanState scan;
+  NGD_RETURN_IF_ERROR(ScanLogImage(*bytes_or, path, nullptr, &scan));
+  const uint64_t truncated = bytes_or->size() - scan.good_end;
+
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return Status::NotFound(Errno("cannot open " + path));
+  if (truncated > 0) {
+    // Drop the torn tail so the next append starts at a record boundary.
+    if (::ftruncate(fd, static_cast<off_t>(scan.good_end)) != 0) {
+      ::close(fd);
+      return Status::Internal(Errno("cannot truncate torn tail of " + path));
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return Status::Internal(Errno("fsync failed for " + path));
+    }
+  }
+  if (info != nullptr) {
+    *info = OpenInfo{};
+    info->base_epoch = scan.base_epoch;
+    info->last_epoch = scan.last_epoch;
+    info->records = scan.records;
+    info->truncated_bytes = truncated;
+  }
+  return std::unique_ptr<UpdateLog>(
+      new UpdateLog(path, fd, scan.base_epoch, scan.last_epoch));
+}
+
+StatusOr<std::unique_ptr<UpdateLog>> UpdateLog::Create(const std::string& path,
+                                                       uint64_t base_epoch) {
+  NGD_RETURN_IF_ERROR(
+      WriteFileAtomic(path, SerializeWalHeader(base_epoch), "wal_create"));
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return Status::NotFound(Errno("cannot open " + path));
+  return std::unique_ptr<UpdateLog>(
+      new UpdateLog(path, fd, base_epoch, base_epoch));
+}
+
+UpdateLog::~UpdateLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status UpdateLog::Append(const EpochRecord& rec) {
+  if (fd_ < 0) return Status::Internal("journal is closed: " + path_);
+  if (sync_failure_pending_) {
+    return Status::Internal("journal in failed state (lost sync): " + path_);
+  }
+  if (rec.epoch != last_epoch_ + 1) {
+    return Status::InvalidArgument(
+        "non-consecutive epoch " + std::to_string(rec.epoch) + " (expected " +
+        std::to_string(last_epoch_ + 1) + "): " + path_);
+  }
+  const std::string payload = SerializeEpochPayload(rec);
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, kRecordKindEpoch);
+  PutU64(&record, rec.epoch);
+  PutU64(&record, Fnv1a64(payload.data(), payload.size()));
+  record.append(payload);
+
+  Status st =
+      WriteWithFailpoint(fd_, record, "wal_append", &sync_failure_pending_);
+  if (!st.ok()) {
+    // The file may now carry a torn record. Treat the handle as dead — the
+    // process-crash model this simulates never appends again; a real
+    // caller reopens the journal, which truncates the tail.
+    ::close(fd_);
+    fd_ = -1;
+    return st;
+  }
+  last_epoch_ = rec.epoch;
+  return Status::OK();
+}
+
+Status UpdateLog::Sync() {
+  if (fd_ < 0) return Status::Internal("journal is closed: " + path_);
+  if (sync_failure_pending_) {
+    sync_failure_pending_ = false;
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Internal("injected fsync failure at wal_append: " + path_);
+  }
+  Status st = SyncFdWithFailpoint(fd_, "wal_sync");
+  if (!st.ok()) {
+    // After a failed fsync the kernel may have dropped the dirty pages;
+    // durability of earlier appends is unknown. Fail the handle.
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return st;
+}
+
+// ---- recovery and compaction ----------------------------------------------
+
+StatusOr<std::vector<EpochRecord>> ReadLogRecords(const std::string& path,
+                                                  UpdateLog::OpenInfo* info) {
+  NGD_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  std::vector<EpochRecord> records;
+  ScanState scan;
+  NGD_RETURN_IF_ERROR(ScanLogImage(bytes, path, &records, &scan));
+  if (info != nullptr) {
+    *info = UpdateLog::OpenInfo{};
+    info->base_epoch = scan.base_epoch;
+    info->last_epoch = scan.last_epoch;
+    info->records = scan.records;
+    info->truncated_bytes = bytes.size() - scan.good_end;
+  }
+  return records;
+}
+
+StatusOr<RecoverResult> RecoverState(const std::string& snapshot_path,
+                                     const std::string& wal_path,
+                                     SchemaPtr schema) {
+  RecoverResult res;
+  auto snap_or = LoadSnapshotFile(snapshot_path, schema);
+  if (snap_or.ok()) {
+    NGD_ASSIGN_OR_RETURN(res.graph, MaterializeGraph(**snap_or));
+    res.snapshot_loaded = true;
+  } else if (snap_or.status().code() == StatusCode::kNotFound) {
+    res.graph = std::make_unique<Graph>(schema);
+  } else {
+    return snap_or.status();
+  }
+
+  UpdateLog::OpenInfo info;
+  auto records_or = ReadLogRecords(wal_path, &info);
+  if (records_or.ok()) {
+    for (const EpochRecord& rec : *records_or) {
+      NGD_RETURN_IF_ERROR(rec.ApplyTo(res.graph.get()));
+      ++res.replayed_records;
+    }
+    res.last_epoch = info.last_epoch;
+    res.truncated_bytes = info.truncated_bytes;
+  } else if (records_or.status().code() != StatusCode::kNotFound) {
+    return records_or.status();
+  }
+  return res;
+}
+
+Status RotateState(const Graph& g, const std::string& snapshot_path,
+                   std::unique_ptr<UpdateLog>* wal) {
+  if (wal == nullptr || *wal == nullptr) {
+    return Status::InvalidArgument("RotateState needs an open journal");
+  }
+  if (g.HasPendingUpdate()) {
+    return Status::InvalidArgument(
+        "RotateState requires a committed graph (pending ΔG overlay)");
+  }
+  GraphSnapshot snap(g, GraphView::kNew);
+  NGD_ASSIGN_OR_RETURN(std::string image, SerializeSnapshot(snap));
+  NGD_RETURN_IF_ERROR(WriteFileAtomic(snapshot_path, image, "rotate_snapshot"));
+
+  // Crash window here leaves "new snapshot + old journal": replay of the
+  // journal's full suffix onto the new snapshot is idempotent.
+  const uint64_t base = (*wal)->last_epoch();
+  const std::string wal_path = (*wal)->path();
+  wal->reset();  // close before replacing the file
+  NGD_ASSIGN_OR_RETURN(*wal, UpdateLog::Create(wal_path, base));
+  return Status::OK();
+}
+
+}  // namespace ngd

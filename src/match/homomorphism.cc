@@ -43,6 +43,7 @@ StepOutcome EvalReadyLiterals(const SearchConfig& cfg, const GraphAccessor& g,
 bool Expand(const SearchConfig& cfg, const GraphAccessor& g,
             const MatchPlan& plan, size_t step_idx, Binding* binding,
             LiteralState ls, const MatchCallback& callback) {
+  if (cfg.cancel != nullptr && cfg.cancel->ShouldStop()) return false;
   if (step_idx == plan.steps.size()) {
     // Full match. In violation mode the literal pruning above guarantees
     // X is satisfied and Y is not (y_false), except for the empty-Y
@@ -77,6 +78,8 @@ bool Expand(const SearchConfig& cfg, const GraphAccessor& g,
 
   return g.ForEachNeighbor(
       anchor, chosen.anchor_out, anchor_label, [&](NodeId cand) {
+        // Bounded response even on a hub anchor's long adjacency scan.
+        if (cfg.cancel != nullptr && cfg.cancel->ShouldStop()) return false;
         if (!g.NodeMatchesLabel(cand, want_label)) return true;
         if (cfg.node_scope != nullptr && !cfg.node_scope->Contains(cand)) {
           return true;

@@ -27,6 +27,7 @@
 #include "graph/snapshot.h"
 #include "match/candidate_index.h"
 #include "match/match_order.h"
+#include "util/cancel.h"
 
 namespace ngd {
 
@@ -62,6 +63,11 @@ struct SearchConfig {
   /// true: emit only violations (X true, Y violated), with literal
   /// pruning; false: emit every match of the pattern.
   bool find_violations = true;
+  /// Optional cooperative stop (util/cancel.h), polled in the expansion
+  /// inner loop. When it trips the search unwinds and returns false, like
+  /// a callback-requested stop; callers that need to tell the two apart
+  /// check cancel->Stopped() afterwards.
+  CancelCheck* cancel = nullptr;
 
   /// The accessor the engine actually matches against.
   GraphAccessor MakeAccessor() const {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "parallel/fragment.h"
+#include "util/cancel.h"
 
 namespace ngd {
 
@@ -169,14 +170,19 @@ class WorkStealingPool {
   /// Runs `process(worker, unit)` on p workers until every unit (and
   /// every unit they spawn) has drained. `tick()` runs on the calling
   /// thread every ~200µs while workers are live — the balancer hook.
+  /// `cancel` (optional): once it trips, remaining queued units are
+  /// drained *without* processing, so a cancelled run still terminates
+  /// through the normal in-flight accounting — engines report whatever
+  /// their workers completed, with the truncation marked.
   template <typename ProcessFn, typename TickFn>
-  void Run(ProcessFn&& process, TickFn&& tick) {
+  void Run(ProcessFn&& process, TickFn&& tick,
+           const CancelToken* cancel = nullptr) {
     done_.store(false, std::memory_order_release);
     std::vector<std::thread> workers;
     workers.reserve(queues_.size());
     for (int i = 0; i < num_queues(); ++i) {
       workers.emplace_back(
-          [this, i, &process]() { WorkerLoop(i, process); });
+          [this, i, &process, cancel]() { WorkerLoop(i, process, cancel); });
     }
     while (in_flight_.load(std::memory_order_acquire) > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
@@ -188,11 +194,13 @@ class WorkStealingPool {
 
  private:
   template <typename ProcessFn>
-  void WorkerLoop(int worker, ProcessFn& process) {
+  void WorkerLoop(int worker, ProcessFn& process, const CancelToken* cancel) {
     while (true) {
       T unit;
       if (queues_[worker].TryPopBack(&unit)) {
-        process(worker, unit);
+        if (cancel == nullptr || !cancel->IsCancelled()) {
+          process(worker, unit);
+        }
         in_flight_.fetch_sub(1, std::memory_order_acq_rel);
         continue;
       }

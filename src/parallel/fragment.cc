@@ -8,6 +8,7 @@
 #include "graph/accessor.h"
 #include "graph/graph_io.h"
 #include "graph/snapshot_io.h"
+#include "util/fs.h"
 
 namespace ngd {
 
@@ -248,12 +249,8 @@ StatusOr<FragmentSnapshot> DeserializeFragment(std::string_view bytes,
 Status SaveFragmentFile(const FragmentSnapshot& frag,
                         const std::string& path) {
   NGD_ASSIGN_OR_RETURN(std::string image, SerializeFragment(frag));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::NotFound("cannot open " + path);
-  out.write(image.data(), static_cast<std::streamsize>(image.size()));
-  out.flush();
-  if (!out.good()) return Status::Internal("write failed for " + path);
-  return Status::OK();
+  // Atomic replace: a crash mid-save must leave the previous file intact.
+  return WriteFileAtomic(path, image, "fragment_write");
 }
 
 StatusOr<FragmentSnapshot> LoadFragmentFile(const std::string& path,

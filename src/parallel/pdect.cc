@@ -1,6 +1,8 @@
 #include "parallel/pdect.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <thread>
 
@@ -42,7 +44,20 @@ class FragmentDectEngine {
         rt_(rt),
         p_(rt.num_fragments()),
         pool_(p_, &metrics_, opts.enable_steal && p_ > 1),
-        local_(p_) {}
+        local_(p_) {
+    // Cancellation: every worker polls one shared token so a deadline
+    // tripped by any worker (or an external Cancel) stops all of them.
+    // When only a deadline is given the engine owns the broadcast token.
+    if (opts.cancel != nullptr || opts.deadline.armed()) {
+      token_ = opts.cancel != nullptr ? opts.cancel : &owned_token_;
+      checks_.reserve(p_);
+      for (int i = 0; i < p_; ++i) checks_.emplace_back(token_, opts.deadline);
+    }
+    pending_ = std::make_unique<std::atomic<uint32_t>[]>(sigma.size());
+    for (size_t r = 0; r < sigma.size(); ++r) {
+      pending_[r].store(0, std::memory_order_relaxed);
+    }
+  }
 
   PDectResult Run(const GraphAccessor& global) {
     metrics_.replicated_nodes.fetch_add(rt_.total_halo_nodes(),
@@ -75,24 +90,44 @@ class FragmentDectEngine {
           u.home = f;
           u.chunk_begin = static_cast<uint32_t>(b);
           u.chunk_end = static_cast<uint32_t>(std::min(b + chunk, count));
+          pending_[r].fetch_add(1, std::memory_order_relaxed);
           pool_.Seed(f, std::move(u));
         }
       }
     }
 
     pool_.Run([this](int worker, PUnit& unit) { ProcessUnit(worker, unit); },
-              []() {});
+              []() {}, token_);
 
     PDectResult result;
     for (int i = 0; i < p_; ++i) result.vio.Merge(std::move(local_[i]));
     result.crossing_edges = rt_.partition().crossing_edges;
     result.fragments = p_;
     result.metrics = SnapshotOf(metrics_);
+    // Per-rule completion: a unit retires its pending count only when it
+    // was processed to the end, so any unit drained unprocessed by the
+    // cancelled pool — or aborted mid-expansion — leaves its rule marked
+    // incomplete.
+    DetectRunInfo local_info;
+    DetectRunInfo* info =
+        opts_.run_info != nullptr ? opts_.run_info : &local_info;
+    info->StartFull(sigma_.size());
+    for (size_t r = 0; r < sigma_.size(); ++r) {
+      if (pending_[r].load(std::memory_order_relaxed) != 0) {
+        info->rule_completed[r] = 0;
+        info->truncated = true;
+      }
+    }
+    result.truncated = info->truncated;
     return result;
   }
 
  private:
   void ProcessUnit(int worker, PUnit& unit) {
+    CancelCheck* check = token_ != nullptr ? &checks_[worker] : nullptr;
+    if (check != nullptr && check->ShouldStop()) {
+      return;  // dropped: the unit's pending count keeps its rule incomplete
+    }
     metrics_.work_units.fetch_add(1, std::memory_order_relaxed);
     const FragmentSnapshot& frag = rt_.fragment(unit.home);
     const GraphAccessor acc(*frag.csr);
@@ -106,6 +141,7 @@ class FragmentDectEngine {
       const uint32_t end =
           std::min(unit.chunk_end, static_cast<uint32_t>(range.size()));
       for (uint32_t i = unit.chunk_begin; i < end; ++i) {
+        if (check != nullptr && check->ShouldStop()) break;
         std::fill(binding.begin(), binding.end(), kInvalidNode);
         binding[start] = range.ptr[i];
         bool y_false = false;
@@ -114,15 +150,19 @@ class FragmentDectEngine {
           continue;
         }
         Expand(worker, unit.ngd, frag, acc, 0, binding, y_false, y_ready, -1,
-               -1, &halo_scans);
+               -1, &halo_scans, check);
       }
     } else {
       Expand(worker, unit.ngd, frag, acc, unit.depth, unit.binding,
              unit.y_false, unit.y_ready, unit.slice_begin, unit.slice_end,
-             &halo_scans);
+             &halo_scans, check);
     }
     if (halo_scans > 0) {
       metrics_.messages.fetch_add(halo_scans, std::memory_order_relaxed);
+    }
+    if (check == nullptr || !check->Stopped()) {
+      // Fully processed (spawned children carry their own pending counts).
+      pending_[unit.ngd].fetch_sub(1, std::memory_order_relaxed);
     }
   }
 
@@ -160,7 +200,8 @@ class FragmentDectEngine {
   void Expand(int worker, int r, const FragmentSnapshot& frag,
               const GraphAccessor& acc, int depth, Binding& binding,
               bool y_false, uint32_t y_ready, int64_t slice_begin,
-              int64_t slice_end, uint64_t* halo_scans) {
+              int64_t slice_end, uint64_t* halo_scans, CancelCheck* check) {
+    if (check != nullptr && check->ShouldStop()) return;
     const Ngd& ngd = sigma_[r];
     const MatchPlan& plan = plans_[r];
     if (static_cast<size_t>(depth) == plan.steps.size()) {
@@ -202,6 +243,7 @@ class FragmentDectEngine {
         u.y_false = y_false;
         u.y_ready = y_ready;
         u.binding = binding;
+        pending_[r].fetch_add(1, std::memory_order_relaxed);
         pool_.Forward(u.home, std::move(u));
         return;
       }
@@ -225,6 +267,7 @@ class FragmentDectEngine {
           s.y_false = y_false;
           s.y_ready = y_ready;
           s.binding = binding;
+          pending_[r].fetch_add(1, std::memory_order_relaxed);
           pool_.Seed(i, std::move(s));
         }
         return;
@@ -236,6 +279,8 @@ class FragmentDectEngine {
     acc.ForEachNeighborSlice(
         anchor, step.anchor_out, anchor_edge.label, begin, end,
         [&](NodeId cand) {
+          // Bounded response even on a hub anchor's long adjacency scan.
+          if (check != nullptr && check->ShouldStop()) return false;
           if (!acc.NodeMatchesLabel(cand, want_label)) return true;
           for (int ce : step.check_edges) {
             const PatternEdge& pe = pattern.edge(ce);
@@ -266,7 +311,7 @@ class FragmentDectEngine {
           }
           if (!prune) {
             Expand(worker, r, frag, acc, depth + 1, binding, child_y_false,
-                   child_y_ready, -1, -1, halo_scans);
+                   child_y_ready, -1, -1, halo_scans, check);
           }
           binding[step.node] = kInvalidNode;
           return true;
@@ -291,6 +336,14 @@ class FragmentDectEngine {
   std::vector<int> start_of_;
   std::vector<LabelId> start_label_;
   std::vector<MatchPlan> plans_;
+  /// Cancellation state: null token_ = not cancellable (zero-option runs
+  /// never touch the checks). Deadline trips broadcast through the token.
+  CancelToken owned_token_;
+  CancelToken* token_ = nullptr;
+  std::vector<CancelCheck> checks_;  // one per worker
+  /// Per-rule outstanding work units; nonzero after the pool drains means
+  /// some unit of that rule was dropped or aborted → rule incomplete.
+  std::unique_ptr<std::atomic<uint32_t>[]> pending_;
 };
 
 /// The legacy shared-memory path: static owner-computes seed assignment
@@ -328,13 +381,33 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
                                    &sigma[f].X(), &sigma[f].Y()));
   }
 
+  // Cancellation: one shared broadcast token, one CancelCheck per worker.
+  CancelToken owned_token;
+  CancelToken* token = opts.cancel;
+  if (token == nullptr && opts.deadline.armed()) token = &owned_token;
+  auto rule_ok = std::make_unique<std::atomic<uint8_t>[]>(sigma.size());
+  for (size_t r = 0; r < sigma.size(); ++r) {
+    rule_ok[r].store(1, std::memory_order_relaxed);
+  }
+
   ClusterMetrics metrics;
   std::vector<VioSet> local(p);
   std::vector<std::thread> workers;
   workers.reserve(p);
   for (int i = 0; i < p; ++i) {
     workers.emplace_back([&, i]() {
-      for (const Seed& seed : assigned[i]) {
+      CancelCheck check(token, opts.deadline);
+      CancelCheck* cancel = check.active() ? &check : nullptr;
+      for (size_t s = 0; s < assigned[i].size(); ++s) {
+        if (cancel != nullptr && cancel->ShouldStop()) {
+          // Unprocessed seeds leave their rules incomplete.
+          for (size_t rest = s; rest < assigned[i].size(); ++rest) {
+            rule_ok[assigned[i][rest].ngd_index].store(
+                0, std::memory_order_relaxed);
+          }
+          break;
+        }
+        const Seed& seed = assigned[i][s];
         metrics.work_units.fetch_add(1, std::memory_order_relaxed);
         const Ngd& ngd = sigma[seed.ngd_index];
         SearchConfig cfg;
@@ -345,6 +418,7 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
         cfg.y = &ngd.Y();
         cfg.view = opts.view;
         cfg.find_violations = true;
+        cfg.cancel = cancel;
         Binding binding(ngd.pattern().NumNodes(), kInvalidNode);
         binding[seed.start] = seed.node;
         RunSeededSearch(cfg, plans[seed.ngd_index], &binding,
@@ -352,6 +426,9 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
                           local[i].Add(Violation{seed.ngd_index, match});
                           return true;
                         });
+        if (cancel != nullptr && cancel->Stopped()) {
+          rule_ok[seed.ngd_index].store(0, std::memory_order_relaxed);
+        }
       }
     });
   }
@@ -363,6 +440,16 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
   result.fragments = p;
   result.metrics = SnapshotOf(metrics);
   result.elapsed_seconds = timer.ElapsedSeconds();
+  DetectRunInfo local_info;
+  DetectRunInfo* info = opts.run_info != nullptr ? opts.run_info : &local_info;
+  info->StartFull(sigma.size());
+  for (size_t r = 0; r < sigma.size(); ++r) {
+    if (rule_ok[r].load(std::memory_order_relaxed) == 0) {
+      info->rule_completed[r] = 0;
+      info->truncated = true;
+    }
+  }
+  result.truncated = info->truncated;
   return result;
 }
 
@@ -377,8 +464,13 @@ PDectResult PDect(const Graph& g, const NgdSet& sigma,
   PDectOptions inner;
   MinimizedSigma m;
   if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
+    DetectRunInfo inner_info;
+    inner.run_info = &inner_info;
     PDectResult result = PDect(g, m.sigma, inner);
     result.vio = RemapViolations(std::move(result.vio), m.report.kept);
+    if (opts.run_info != nullptr) {
+      RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
+    }
     return result;
   }
 

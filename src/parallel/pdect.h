@@ -63,10 +63,23 @@ struct PDectOptions {
   /// work units) and remap violation indices back to Σ.
   MinimizeMode minimize_sigma = MinimizeMode::kNever;
   SigmaOptimizerOptions sigma_optimizer = {};
+  /// Graceful degradation (see DectOptions): when the token trips or the
+  /// deadline expires, workers stop expanding and the pool drains the
+  /// remaining queued units unprocessed. The call returns the violations
+  /// found so far with `truncated` set; `run_info` (optional, must
+  /// outlive the call) reports which rules' enumerations still finished —
+  /// a rule is complete when every one of its work units (seed chunks,
+  /// forwards, splits) was fully processed.
+  CancelToken* cancel = nullptr;
+  Deadline deadline = {};
+  DetectRunInfo* run_info = nullptr;
 };
 
 struct PDectResult {
   VioSet vio;
+  /// True iff the run was cut short by cancel/deadline and some rule's
+  /// enumeration is incomplete (per-rule detail in opts.run_info).
+  bool truncated = false;
   double elapsed_seconds = 0.0;
   size_t crossing_edges = 0;  ///< edge-cut of the fragmentation used
   int fragments = 1;          ///< p actually used

@@ -1,7 +1,9 @@
 #include "parallel/pinc_dect.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -26,7 +28,19 @@ class PIncDectEngine {
         nc_(0),
         pool_(p_, &metrics_, opts.enable_steal && p_ > 1),
         local_added_(p_),
-        local_removed_(p_) {}
+        local_removed_(p_) {
+    // Cancellation: one shared broadcast token (engine-owned when only a
+    // deadline is given), one CancelCheck per worker.
+    if (opts.cancel != nullptr || opts.deadline.armed()) {
+      token_ = opts.cancel != nullptr ? opts.cancel : &owned_token_;
+      checks_.reserve(p_);
+      for (int i = 0; i < p_; ++i) checks_.emplace_back(token_, opts.deadline);
+    }
+    pending_ = std::make_unique<std::atomic<uint32_t>[]>(sigma.size());
+    for (size_t r = 0; r < sigma.size(); ++r) {
+      pending_[r].store(0, std::memory_order_relaxed);
+    }
+  }
 
   StatusOr<PIncDectResult> Run() {
     NGD_RETURN_IF_ERROR(ValidateForIncremental(sigma_));
@@ -122,6 +136,7 @@ class PIncDectEngine {
           target = rt->OwnerOf(u.edge.src);
         }
         unit.home_fragment = target;
+        pending_[t.ngd_index].fetch_add(1, std::memory_order_relaxed);
         pool_.Seed(target, std::move(unit));
         ++i;
       }
@@ -143,7 +158,8 @@ class PIncDectEngine {
             }
             last_balance = now;
             BalanceOnce();
-          });
+          },
+          token_);
     }
 
     PIncDectResult result;
@@ -159,6 +175,20 @@ class PIncDectEngine {
     result.balance_moves = metrics_.balance_moves.load();
     result.steals = metrics_.steals.load();
     result.elapsed_seconds = timer.ElapsedSeconds();
+    // Per-rule completion: units retire their pending count only when
+    // fully processed, so anything drained unprocessed by a cancelled
+    // pool — or aborted mid-expansion — leaves its rule incomplete.
+    DetectRunInfo local_info;
+    DetectRunInfo* info =
+        opts_.run_info != nullptr ? opts_.run_info : &local_info;
+    info->StartFull(sigma_.size());
+    for (size_t r = 0; r < sigma_.size(); ++r) {
+      if (pending_[r].load(std::memory_order_relaxed) != 0) {
+        info->rule_completed[r] = 0;
+        info->truncated = true;
+      }
+    }
+    result.truncated = info->truncated;
     return result;
   }
 
@@ -200,6 +230,10 @@ class PIncDectEngine {
   }
 
   void ProcessUnit(int worker, PWorkUnit& unit) {
+    CancelCheck* check = token_ != nullptr ? &checks_[worker] : nullptr;
+    if (check != nullptr && check->ShouldStop()) {
+      return;  // dropped: the unit's pending count keeps its rule incomplete
+    }
     metrics_.work_units.fetch_add(1, std::memory_order_relaxed);
     const Ngd& ngd = sigma_[unit.ngd_index];
     const Pattern& pattern = ngd.pattern();
@@ -220,9 +254,19 @@ class PIncDectEngine {
     // Seed validation for fresh pivot units (split/child units have
     // already passed it).
     if (unit.depth == 0 && unit.slice_begin < 0) {
-      if (!ValidateSeeds(plan, pattern, unit, view, filter)) return;
+      if (!ValidateSeeds(plan, pattern, unit, view, filter)) {
+        Retire(unit);  // fully processed: the pivot never matched
+        return;
+      }
     }
-    ExpandUnit(worker, unit, plan, pattern, ngd, u.kind, view, filter);
+    ExpandUnit(worker, unit, plan, pattern, ngd, u.kind, view, filter, check);
+    if (check == nullptr || !check->Stopped()) Retire(unit);
+  }
+
+  /// A unit retires only on full processing; dropped or aborted units
+  /// leave their rule's pending count nonzero → incomplete.
+  void Retire(const PWorkUnit& unit) {
+    pending_[unit.ngd_index].fetch_sub(1, std::memory_order_relaxed);
   }
 
   bool ValidateSeeds(const MatchPlan& plan, const Pattern& pattern,
@@ -259,7 +303,9 @@ class PIncDectEngine {
 
   void ExpandUnit(int worker, PWorkUnit& unit, const MatchPlan& plan,
                   const Pattern& pattern, const Ngd& ngd, UpdateKind kind,
-                  GraphView view, const EdgeFilter& filter) {
+                  GraphView view, const EdgeFilter& filter,
+                  CancelCheck* check) {
+    if (check != nullptr && check->ShouldStop()) return;
     if (static_cast<size_t>(unit.depth) == plan.steps.size()) {
       EmitIfCanonical(worker, unit, pattern, kind);
       return;
@@ -298,6 +344,8 @@ class PIncDectEngine {
     acc.ForEachNeighborSlice(
         anchor, step.anchor_out, anchor_edge.label, begin, end,
         [&](NodeId cand) {
+          // Bounded response even on a hub anchor's long adjacency scan.
+          if (check != nullptr && check->ShouldStop()) return false;
           if (!acc.NodeMatchesLabel(cand, want_label)) return true;
           if (!nc_.Contains(cand)) return true;
           {
@@ -356,6 +404,7 @@ class PIncDectEngine {
           if (static_cast<size_t>(child.depth) == plan.steps.size()) {
             EmitIfCanonical(worker, child, pattern, kind);
           } else {
+            pending_[child.ngd_index].fetch_add(1, std::memory_order_relaxed);
             pool_.SpawnLocal(worker, std::move(child));
           }
           return true;
@@ -372,6 +421,7 @@ class PIncDectEngine {
       PWorkUnit slice = unit;
       slice.slice_begin = static_cast<int32_t>(b);
       slice.slice_end = static_cast<int32_t>(std::min(b + chunk, seq_len));
+      pending_[slice.ngd_index].fetch_add(1, std::memory_order_relaxed);
       pool_.Seed(i, std::move(slice));
     }
   }
@@ -413,6 +463,12 @@ class PIncDectEngine {
   std::vector<VioSet> local_added_;
   std::vector<VioSet> local_removed_;
   ClusterMetrics metrics_;
+  /// Cancellation state (null token_ = not cancellable) and per-rule
+  /// outstanding work-unit counts (see PDect for the accounting scheme).
+  CancelToken owned_token_;
+  CancelToken* token_ = nullptr;
+  std::vector<CancelCheck> checks_;  // one per worker
+  std::unique_ptr<std::atomic<uint32_t>[]> pending_;
 };
 
 }  // namespace
@@ -428,9 +484,14 @@ StatusOr<PIncDectResult> PIncDect(const Graph& g, const NgdSet& sigma,
     PIncDectOptions inner;
     MinimizedSigma m;
     if (BeginMinimizedDetection(sigma, g.schema(), opts, &inner, &m)) {
+      DetectRunInfo inner_info;
+      inner.run_info = &inner_info;
       auto result = PIncDect(g, m.sigma, batch, inner);
       if (!result.ok()) return result;
       result->delta = RemapDelta(std::move(result->delta), m.report.kept);
+      if (opts.run_info != nullptr) {
+        RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
+      }
       return result;
     }
   }

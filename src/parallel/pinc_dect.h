@@ -74,10 +74,20 @@ struct PIncDectOptions {
   /// (default) is the oracle.
   MinimizeMode minimize_sigma = MinimizeMode::kNever;
   SigmaOptimizerOptions sigma_optimizer = {};
+  /// Graceful degradation (see DectOptions / PDectOptions): a tripped
+  /// token or expired deadline stops the workers and drains the queues;
+  /// the call returns the ΔVio found so far with `truncated` set, and
+  /// `run_info` marks a rule complete only when every one of its pivot
+  /// work units (including splits and spawned children) finished.
+  CancelToken* cancel = nullptr;
+  Deadline deadline = {};
+  DetectRunInfo* run_info = nullptr;
 };
 
 struct PIncDectResult {
   DeltaVio delta;
+  /// True iff the run was cut short and some rule's ΔVio is incomplete.
+  bool truncated = false;
   double elapsed_seconds = 0.0;
   size_t candidate_neighborhood_nodes = 0;
   uint64_t messages = 0;

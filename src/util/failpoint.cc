@@ -1,0 +1,162 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace ngd {
+namespace failpoint {
+namespace {
+
+struct SiteSpec {
+  Mode mode = Mode::kNone;
+  uint64_t skip = 0;  // hits of this site to let pass before firing
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteSpec> sites;
+  Mode nth_mode = Mode::kNone;
+  uint64_t nth_target = 0;  // 1-based traversal index to fire at
+  uint64_t traversals = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+
+Registry& Reg() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+bool ParseMode(std::string_view s, Mode* out) {
+  if (s == "short") return *out = Mode::kShortWrite, true;
+  if (s == "torn") return *out = Mode::kTornWrite, true;
+  if (s == "bitflip") return *out = Mode::kBitFlip, true;
+  if (s == "enospc") return *out = Mode::kEnospc, true;
+  if (s == "syncfail") return *out = Mode::kSyncFail, true;
+  return false;
+}
+
+}  // namespace
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kNone:
+      return "none";
+    case Mode::kShortWrite:
+      return "short";
+    case Mode::kTornWrite:
+      return "torn";
+    case Mode::kBitFlip:
+      return "bitflip";
+    case Mode::kEnospc:
+      return "enospc";
+    case Mode::kSyncFail:
+      return "syncfail";
+  }
+  return "?";
+}
+
+void Enable(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Reset() {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  r.nth_mode = Mode::kNone;
+  r.nth_target = 0;
+  r.traversals = 0;
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ArmSite(std::string_view site, Mode mode, uint64_t skip) {
+  Registry& r = Reg();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    SiteSpec& spec = r.sites[std::string(site)];
+    spec.mode = mode;
+    spec.skip = skip;
+    spec.hits = 0;
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void ArmNth(Mode mode, uint64_t n) {
+  Registry& r = Reg();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.nth_mode = mode;
+    r.nth_target = n == 0 ? 1 : n;
+    r.traversals = 0;
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+uint64_t Traversals() {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.traversals;
+}
+
+bool ArmFromEnv() {
+  const char* env = std::getenv("NGD_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return false;
+  std::string_view spec(env);
+  bool armed_any = false;
+  while (!spec.empty()) {
+    size_t comma = spec.find(',');
+    std::string_view entry =
+        comma == std::string_view::npos ? spec : spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view()
+                                           : spec.substr(comma + 1);
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;
+    std::string_view site = entry.substr(0, eq);
+    std::string_view rhs = entry.substr(eq + 1);
+    uint64_t count = 0;
+    size_t colon = rhs.find(':');
+    if (colon != std::string_view::npos) {
+      count = std::strtoull(std::string(rhs.substr(colon + 1)).c_str(),
+                            nullptr, 10);
+      rhs = rhs.substr(0, colon);
+    }
+    Mode mode;
+    if (!ParseMode(rhs, &mode) || site.empty()) continue;
+    if (site == "*") {
+      ArmNth(mode, count == 0 ? 1 : count);
+    } else {
+      // site=mode:N fires on the N-th hit of that site (first by default).
+      ArmSite(site, mode, count == 0 ? 0 : count - 1);
+    }
+    armed_any = true;
+  }
+  return armed_any;
+}
+
+Mode Hit(std::string_view site) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return Mode::kNone;
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.traversals;
+  if (r.nth_mode != Mode::kNone && r.traversals == r.nth_target) {
+    Mode m = r.nth_mode;
+    r.nth_mode = Mode::kNone;
+    return m;
+  }
+  auto it = r.sites.find(std::string(site));
+  if (it == r.sites.end() || it->second.mode == Mode::kNone) {
+    return Mode::kNone;
+  }
+  SiteSpec& spec = it->second;
+  if (spec.hits++ < spec.skip) return Mode::kNone;
+  Mode m = spec.mode;
+  spec.mode = Mode::kNone;  // one-shot
+  return m;
+}
+
+}  // namespace failpoint
+}  // namespace ngd

@@ -1,0 +1,139 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/failpoint.h"
+#include "util/hash.h"
+
+namespace ngd {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::string ParentDirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status WriteAllFd(int fd, std::string_view bytes) {
+  const char* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write failed"));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteWithFailpoint(int fd, std::string_view bytes, const char* site,
+                          bool* defer_sync_failure) {
+  failpoint::Mode mode =
+      site != nullptr ? failpoint::Hit(site) : failpoint::Mode::kNone;
+  switch (mode) {
+    case failpoint::Mode::kNone:
+      return WriteAllFd(fd, bytes);
+    case failpoint::Mode::kEnospc:
+      return Status::ResourceExhausted(std::string("injected ENOSPC at ") +
+                                       site);
+    case failpoint::Mode::kShortWrite: {
+      // A crash mid-write: only a prefix reaches the file.
+      Status st = WriteAllFd(fd, bytes.substr(0, bytes.size() / 2));
+      if (!st.ok()) return st;
+      return Status::Internal(std::string("injected crash: short write at ") +
+                              site);
+    }
+    case failpoint::Mode::kTornWrite: {
+      // Full length reaches the file but the final sector never made it:
+      // the tail reads back as zeros.
+      std::string mutated(bytes);
+      size_t tail = mutated.size() < 256 ? mutated.size() : 256;
+      std::memset(mutated.data() + (mutated.size() - tail), 0, tail);
+      Status st = WriteAllFd(fd, mutated);
+      if (!st.ok()) return st;
+      return Status::Internal(std::string("injected crash: torn write at ") +
+                              site);
+    }
+    case failpoint::Mode::kBitFlip: {
+      // Silent single-bit corruption; the write itself "succeeds".
+      std::string mutated(bytes);
+      if (!mutated.empty()) {
+        uint64_t h = Fnv1a64(mutated.data(), mutated.size());
+        size_t bit = static_cast<size_t>(h % (mutated.size() * 8));
+        mutated[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(mutated[bit / 8]) ^ (1u << (bit % 8)));
+      }
+      return WriteAllFd(fd, mutated);
+    }
+    case failpoint::Mode::kSyncFail: {
+      Status st = WriteAllFd(fd, bytes);
+      if (!st.ok()) return st;
+      if (defer_sync_failure != nullptr) *defer_sync_failure = true;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable failpoint mode");
+}
+
+Status SyncFdWithFailpoint(int fd, const char* site) {
+  if (site != nullptr && failpoint::Hit(site) != failpoint::Mode::kNone) {
+    return Status::Internal(std::string("injected fsync failure at ") + site);
+  }
+  if (::fsync(fd) != 0) return Status::Internal(Errno("fsync failed"));
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes,
+                       const char* failpoint_site) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::NotFound(Errno("cannot open " + tmp));
+
+  bool sync_fails = false;
+  Status st = WriteWithFailpoint(fd, bytes, failpoint_site, &sync_fails);
+  if (st.ok()) {
+    if (sync_fails) {
+      st = Status::Internal(std::string("injected fsync failure at ") +
+                            (failpoint_site != nullptr ? failpoint_site : "?"));
+    } else if (::fsync(fd) != 0) {
+      st = Status::Internal(Errno("fsync failed for " + tmp));
+    }
+  }
+  if (::close(fd) != 0 && st.ok()) {
+    st = Status::Internal(Errno("close failed for " + tmp));
+  }
+  // On failure the tmp file stays behind, exactly as after a real crash;
+  // `path` is untouched either way until the rename below.
+  if (!st.ok()) return st;
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal(Errno("rename failed for " + path));
+  }
+  return FsyncParentDir(path);
+}
+
+Status FsyncParentDir(const std::string& path) {
+  const std::string dir = ParentDirOf(path);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::OK();  // best effort
+  (void)::fsync(fd);                // some filesystems reject dir fsync
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace ngd

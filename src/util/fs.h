@@ -1,0 +1,53 @@
+// Durable file writes.
+//
+// Every persistent artifact (binary snapshots, fragment containers, the
+// update journal on rotation) is replaced atomically: the image is
+// written to `<path>.tmp`, fsync'd, renamed over `path`, and the parent
+// directory is fsync'd — a crash at any point leaves either the old file
+// or the new one, never a torn mix. The helpers also host the
+// fault-injection hooks (util/failpoint.h): a named site threaded through
+// the write path lets tests kill or corrupt the write at every stage and
+// assert recovery.
+
+#ifndef NGD_UTIL_FS_H_
+#define NGD_UTIL_FS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ngd {
+
+/// write(2) loop; retries partial writes and EINTR.
+Status WriteAllFd(int fd, std::string_view bytes);
+
+/// Writes `bytes` to `fd`, honoring any failpoint armed at `site`
+/// (nullptr = no injection):
+///   short    — a prefix is written, then kInternal ("injected crash")
+///   torn     — full length written with the tail zeroed, then kInternal
+///   bitflip  — full length written with one bit flipped; returns OK
+///              (silent corruption — the reader's checksums must catch it)
+///   enospc   — nothing written, kResourceExhausted
+///   syncfail — full clean write; *defer_sync_failure set so the caller's
+///              next SyncFdWithFailpoint / fsync step reports the fault
+Status WriteWithFailpoint(int fd, std::string_view bytes, const char* site,
+                          bool* defer_sync_failure);
+
+/// fsync(2) as a Status; any mode armed at `site` makes it fail.
+Status SyncFdWithFailpoint(int fd, const char* site);
+
+/// Atomic replace: tmp + write + fsync + rename + parent-dir fsync. On
+/// any failure `path` is untouched (a stale `<path>.tmp` may remain, as
+/// after a real crash; the next attempt truncates it). `failpoint_site`
+/// names the injection site for the data write and its fsync.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes,
+                       const char* failpoint_site = nullptr);
+
+/// fsync of the directory containing `path` (so a completed rename
+/// survives power loss). Best effort: ENOTSUP-style failures are ignored.
+Status FsyncParentDir(const std::string& path);
+
+}  // namespace ngd
+
+#endif  // NGD_UTIL_FS_H_

@@ -6,7 +6,9 @@
 //      attributes and randomized generator graphs.
 //   2. Robustness: bad magic, version/endian mismatch, truncation at
 //      every prefix length, payload and table corruption, schema
-//      conflicts — all fail with kCorruption, never crash.
+//      conflicts, and on-disk damage through the file path (truncation
+//      targeted at section boundaries, randomized single-bit flips) —
+//      all fail with kCorruption, never crash.
 //   3. Equivalence into detection results: the same graph ingested as
 //      TSV text and as a binary snapshot produces identical violations
 //      from all four engines (Dect/PDect fed the loaded snapshot
@@ -18,8 +20,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -396,6 +401,84 @@ TEST_F(SnapshotIoHostileTest, RejectedLoadLeavesSchemaUntouched) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(schema->labels().size(), 1u);  // just the wildcard
   EXPECT_EQ(schema->attrs().size(), 0u);
+}
+
+// ---- On-disk damage (the file path, not the byte-image path) --------------
+//
+// The in-memory sweeps above cover every prefix and a strided multi-bit
+// byte flip through DeserializeSnapshot. These drive the same policy
+// through SaveSnapshotFile/LoadSnapshotFile: truncation targeted at each
+// section boundary plus a few bytes either side (where a partial write
+// or a lost tail block actually lands), and randomized single-bit flips
+// (bit rot flips one bit, not a 0x2f pattern). Both must yield a clean
+// kCorruption or a bit-identical load — never a crash, never silently
+// changed content.
+
+class SnapshotIoFileDamageTest : public SnapshotIoHostileTest {
+ protected:
+  static std::string TestPath(const std::string& name) {
+    const std::string p = ::testing::TempDir() + "/" + name;
+    std::remove(p.c_str());
+    return p;
+  }
+
+  static void WriteBytes(const std::string& path, const std::string& bytes) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(os.good()) << "cannot write " << path;
+  }
+
+  Status LoadFileStatus(const std::string& path) {
+    auto r = LoadSnapshotFile(path, Schema::Create());
+    return r.ok() ? Status::OK() : r.status();
+  }
+};
+
+TEST_F(SnapshotIoFileDamageTest, TruncationAtSectionBoundariesIsRejected) {
+  std::set<size_t> cuts = {0, kHeaderBytes,
+                           kHeaderBytes + kNumSections * kEntryBytes};
+  for (size_t s = 0; s < kNumSections; ++s) {
+    const Entry e = ReadEntry(bytes_, s);
+    cuts.insert(static_cast<size_t>(e.offset));
+    cuts.insert(
+        static_cast<size_t>(e.offset + uint64_t{e.elem_bytes} * e.count));
+  }
+  const std::string path = TestPath("snapshot_io_cut.ngds");
+  for (size_t cut : cuts) {
+    for (int delta = -3; delta <= 3; ++delta) {
+      if (delta < 0 && cut < static_cast<size_t>(-delta)) continue;
+      const size_t len = cut + static_cast<size_t>(delta);
+      if (len >= bytes_.size()) continue;  // not a truncation
+      WriteBytes(path, bytes_.substr(0, len));
+      Status s = LoadFileStatus(path);
+      ASSERT_FALSE(s.ok()) << "file cut to " << len << " bytes parsed";
+      ASSERT_EQ(s.code(), StatusCode::kCorruption)
+          << "cut to " << len << ": " << s.ToString();
+    }
+  }
+}
+
+TEST_F(SnapshotIoFileDamageTest, RandomizedSingleBitFlipsNeverCorruptSilently) {
+  auto ref = DeserializeSnapshot(bytes_, Schema::Create());
+  ASSERT_TRUE(ref.ok());
+  const uint64_t want = SnapshotFingerprint(**ref);
+  const std::string path = TestPath("snapshot_io_bitflip.ngds");
+  uint64_t state = 0x9e3779b97f4a7c15ULL;  // fixed seed: reproducible sweep
+  const size_t flips = CaseCount() * 8;
+  for (size_t i = 0; i < flips; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const size_t pos = static_cast<size_t>((state >> 17) % bytes_.size());
+    const unsigned bit = static_cast<unsigned>((state >> 11) & 7);
+    std::string bad = bytes_;
+    bad[pos] = static_cast<char>(bad[pos] ^ (1u << bit));
+    WriteBytes(path, bad);
+    auto r = LoadSnapshotFile(path, Schema::Create());
+    if (r.ok()) {
+      EXPECT_EQ(SnapshotFingerprint(**r), want)
+          << "bit " << bit << " of byte " << pos
+          << " flipped, file parsed with changed content";
+    }
+  }
 }
 
 // ---- Text-vs-binary equivalence into detection results --------------------

@@ -23,7 +23,9 @@
 // not reference nodes that do not exist (ngdcheck does not create nodes).
 //
 // Exit status: 0 on success (violations or not), 1 on usage/input errors,
-// 2 if --fail-on-violations is given and any violation (or ΔVio+) exists.
+// 2 if --fail-on-violations is given and any violation (or ΔVio+) exists,
+// 3 if an input file is corrupt (snapshot/journal/update framing or
+// checksum failures — Status code kCorruption).
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +41,7 @@
 #include "graph/graph_io.h"
 #include "graph/snapshot.h"
 #include "graph/snapshot_io.h"
+#include "graph/update_log.h"
 #include "graph/updates.h"
 #include "parallel/pdect.h"
 #include "parallel/pinc_dect.h"
@@ -75,6 +78,19 @@ options:
                       simulated processors
   --max-violations N  stop collecting per NGD after N violations
                       (sequential batch mode only)
+  --wal FILE          write-ahead journal. With --mode incremental the
+                      update batch is appended (and fsynced) to FILE as
+                      the next epoch before detection runs, so the batch
+                      survives a crash; with --recover, FILE is the
+                      journal replayed over the snapshot
+  --recover           rebuild state instead of loading it: --graph names
+                      the latest-good snapshot (missing = empty base) and
+                      --wal the journal whose suffix is replayed onto it;
+                      batch detection then runs on the recovered graph
+  --deadline-ms N     best-effort time budget: detection stops expanding
+                      when the deadline expires and reports the
+                      violations found so far, with "truncated": true and
+                      the count of fully-enumerated rules in the JSON
   --minimize-sigma    run the Sigma-optimizer before detection: rules the
                       remaining set implies are dropped (any violation of
                       a dropped rule co-occurs with a kept-rule violation)
@@ -93,10 +109,13 @@ struct Options {
   std::string rules_path;
   std::string updates_path;
   std::string save_snapshot_path;
+  std::string wal_path;
   std::string mode = "batch";
   int parallel = 0;  // 0 = sequential
   int threads = 0;   // TSV parser threads; 0 = hardware concurrency
   size_t max_violations = 0;
+  int64_t deadline_ms = 0;  // 0 = no deadline
+  bool recover = false;
   bool minimize_sigma = false;
   bool fail_on_violations = false;
 };
@@ -164,6 +183,23 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
         return false;
       }
       opts->max_violations = static_cast<size_t>(*n);
+    } else if (arg == "--wal") {
+      const char* v = need_value("--wal");
+      if (v == nullptr) return false;
+      opts->wal_path = v;
+    } else if (arg == "--recover") {
+      opts->recover = true;
+    } else if (arg == "--deadline-ms") {
+      const char* v = need_value("--deadline-ms");
+      if (v == nullptr) return false;
+      auto n = ParseInt64(v);
+      if (!n || *n <= 0) {
+        *error = "--deadline-ms requires a positive millisecond budget, "
+                 "got " +
+                 std::string(v);
+        return false;
+      }
+      opts->deadline_ms = *n;
     } else if (arg == "--minimize-sigma") {
       opts->minimize_sigma = true;
     } else if (arg == "--fail-on-violations") {
@@ -189,6 +225,21 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
     *error = "--mode incremental requires --updates";
     return false;
   }
+  if (opts->recover && opts->wal_path.empty()) {
+    *error = "--recover requires --wal (the journal to replay)";
+    return false;
+  }
+  if (opts->recover && opts->mode != "batch") {
+    *error = "--recover runs batch detection on the recovered graph; "
+             "it cannot be combined with --mode incremental";
+    return false;
+  }
+  if (!opts->wal_path.empty() && !opts->recover &&
+      opts->mode != "incremental") {
+    *error = "--wal journals update batches: it requires --mode "
+             "incremental (or --recover)";
+    return false;
+  }
   if (opts->max_violations > 0 &&
       (opts->mode != "batch" || opts->parallel > 0)) {
     *error = "--max-violations is only supported by the sequential batch "
@@ -209,6 +260,16 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
     return false;
   }
   return true;
+}
+
+/// Uniform failure reporting: every Status that aborts the run prints as
+/// "ngdcheck: <context>: [CODE] message" on stderr, and data-integrity
+/// failures get their own exit code so scripts can tell a corrupt
+/// snapshot/journal (3) from a usage or missing-file error (1).
+int FailWith(const std::string& context, const Status& s) {
+  std::cerr << "ngdcheck: " << context << ": [" << StatusCodeName(s.code())
+            << "] " << s.message() << "\n";
+  return s.code() == StatusCode::kCorruption ? 3 : 1;
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
@@ -282,6 +343,14 @@ void JsonEscape(const std::string& s, std::ostream* os) {
   }
 }
 
+/// Partial-result shape of a (possibly deadline-bounded) detection run.
+void WriteRunInfo(const DetectRunInfo& info, std::ostream* os) {
+  size_t completed = 0;
+  for (char c : info.rule_completed) completed += c != 0 ? 1 : 0;
+  *os << "  \"truncated\": " << (info.truncated ? "true" : "false") << ",\n";
+  *os << "  \"rules_completed\": " << completed << ",\n";
+}
+
 /// One violation as a JSON object: rule name plus the h(x̄) assignment
 /// keyed by pattern variable.
 void WriteViolation(const Violation& v, const NgdSet& sigma,
@@ -321,19 +390,26 @@ int Run(const Options& opts) {
   // incremental path mutates) is materialized from it.
   std::unique_ptr<GraphSnapshot> loaded_snapshot;
   std::unique_ptr<Graph> owned_graph;
-  const bool is_snapshot_input = SniffSnapshotFile(opts.graph_path);
-  if (is_snapshot_input) {
+  RecoverResult recovery;
+  const bool is_snapshot_input =
+      !opts.recover && SniffSnapshotFile(opts.graph_path);
+  if (opts.recover) {
+    // --graph names the latest-good snapshot here (missing = empty base);
+    // the journal suffix at --wal is replayed on top.
+    auto rec = RecoverState(opts.graph_path, opts.wal_path, schema);
+    if (!rec.ok()) return FailWith("recovering state", rec.status());
+    recovery = std::move(*rec);
+    owned_graph = std::move(recovery.graph);
+  } else if (is_snapshot_input) {
     auto snap = LoadSnapshotFile(opts.graph_path, schema);
     if (!snap.ok()) {
-      std::cerr << "ngdcheck: loading " << opts.graph_path << ": "
-                << snap.status().ToString() << "\n";
-      return 1;
+      return FailWith("loading " + opts.graph_path, snap.status());
     }
     loaded_snapshot = std::move(snap).value();
     auto materialized = MaterializeGraph(*loaded_snapshot);
     if (!materialized.ok()) {
-      std::cerr << "ngdcheck: " << materialized.status().ToString() << "\n";
-      return 1;
+      return FailWith("materializing " + opts.graph_path,
+                      materialized.status());
     }
     owned_graph = std::move(materialized).value();
   } else {
@@ -341,9 +417,7 @@ int Run(const Options& opts) {
     ingest.threads = opts.threads;
     auto graph = LoadGraphFile(opts.graph_path, schema, ingest);
     if (!graph.ok()) {
-      std::cerr << "ngdcheck: loading " << opts.graph_path << ": "
-                << graph.status().ToString() << "\n";
-      return 1;
+      return FailWith("loading " + opts.graph_path, graph.status());
     }
     owned_graph = std::move(graph).value();
   }
@@ -361,10 +435,7 @@ int Run(const Options& opts) {
       built_snapshot = std::make_unique<GraphSnapshot>(g, GraphView::kNew);
       saved = SaveSnapshotFile(*built_snapshot, opts.save_snapshot_path);
     }
-    if (!saved.ok()) {
-      std::cerr << "ngdcheck: saving snapshot: " << saved.ToString() << "\n";
-      return 1;
-    }
+    if (!saved.ok()) return FailWith("saving snapshot", saved);
     if (opts.rules_path.empty()) {
       std::ostream& os = std::cout;
       os << "{\n";
@@ -383,14 +454,11 @@ int Run(const Options& opts) {
 
   auto rules_text = ReadFile(opts.rules_path);
   if (!rules_text.ok()) {
-    std::cerr << "ngdcheck: " << rules_text.status().ToString() << "\n";
-    return 1;
+    return FailWith("reading rules", rules_text.status());
   }
   auto sigma = ParseNgds(*rules_text, schema);
   if (!sigma.ok()) {
-    std::cerr << "ngdcheck: parsing " << opts.rules_path << ": "
-              << sigma.status().ToString() << "\n";
-    return 1;
+    return FailWith("parsing " + opts.rules_path, sigma.status());
   }
 
   std::ostream& os = std::cout;
@@ -405,6 +473,13 @@ int Run(const Options& opts) {
   os << "  \"rules\": " << sigma->size() << ",\n";
   os << "  \"mode\": \"" << opts.mode
      << (opts.parallel > 0 ? "-parallel" : "") << "\",\n";
+  if (opts.recover) {
+    os << "  \"recovery\": {\"snapshot_loaded\": "
+       << (recovery.snapshot_loaded ? "true" : "false")
+       << ", \"last_epoch\": " << recovery.last_epoch
+       << ", \"replayed_records\": " << recovery.replayed_records
+       << ", \"truncated_bytes\": " << recovery.truncated_bytes << "},\n";
+  }
 
   // Σ-optimizer: minimize up front (rather than per engine call via
   // DectOptions::minimize_sigma) so the report is visible in the JSON,
@@ -416,10 +491,7 @@ int Run(const Options& opts) {
   if (opts.minimize_sigma) {
     if (opts.mode == "incremental") {
       Status valid = ValidateForIncremental(*sigma);
-      if (!valid.ok()) {
-        std::cerr << "ngdcheck: " << valid.ToString() << "\n";
-        return 1;
-      }
+      if (!valid.ok()) return FailWith("validating rules", valid);
     }
     WallTimer opt_timer;
     MinimizedSigma m = MinimizeSigma(*sigma, schema);
@@ -450,6 +522,12 @@ int Run(const Options& opts) {
   }
 
   bool dirty = false;
+  // Deadline-bounded detection: engines stop expanding when the budget
+  // expires and report the partial-result shape through run_info.
+  const Deadline deadline = opts.deadline_ms > 0
+                                ? Deadline::After(opts.deadline_ms)
+                                : Deadline();
+  DetectRunInfo run_info;
   WallTimer timer;
   if (opts.mode == "batch") {
     // A loaded (or just-saved) kNew snapshot IS the batch search
@@ -464,11 +542,15 @@ int Run(const Options& opts) {
       PDectOptions popts;
       popts.num_processors = opts.parallel;
       popts.snapshot = prebuilt;
+      popts.deadline = deadline;
+      popts.run_info = &run_info;
       vio = PDect(g, *sigma, popts).vio;
     } else {
       DectOptions dopts;
       dopts.max_violations_per_ngd = opts.max_violations;
       dopts.snapshot = prebuilt;
+      dopts.deadline = deadline;
+      dopts.run_info = &run_info;
       vio = Dect(g, *sigma, dopts);
     }
     double elapsed = timer.ElapsedSeconds();
@@ -477,21 +559,41 @@ int Run(const Options& opts) {
     os << "  \"violations\": ";
     WriteVioArray(vio, *sigma, &os);
     os << ",\n";
+    WriteRunInfo(run_info, &os);
     os << "  \"elapsed_seconds\": " << elapsed << "\n";
   } else {
     auto batch = ReadUpdateFile(opts.updates_path, g);
     if (!batch.ok()) {
-      std::cerr << "ngdcheck: " << batch.status().ToString() << "\n";
-      return 1;
+      return FailWith("reading updates", batch.status());
     }
     Status applied = ApplyUpdateBatch(&g, &*batch);
-    if (!applied.ok()) {
-      std::cerr << "ngdcheck: applying updates: " << applied.ToString()
-                << "\n";
-      return 1;
+    if (!applied.ok()) return FailWith("applying updates", applied);
+    // Crash-safe epoch: journal the (effective) batch before detection,
+    // following the mutate → Append+Sync → commit protocol of
+    // graph/update_log.h. A crash from here on loses no updates.
+    uint64_t journaled_epoch = 0;
+    if (!opts.wal_path.empty()) {
+      auto wal = UpdateLog::Open(opts.wal_path);
+      if (!wal.ok()) {
+        return FailWith("opening journal " + opts.wal_path, wal.status());
+      }
+      // ngdcheck updates never create nodes, so the epoch's first new
+      // node id is just NumNodes().
+      journaled_epoch = (*wal)->last_epoch() + 1;
+      const EpochRecord rec = EpochRecord::Capture(
+          g, *batch, static_cast<NodeId>(g.NumNodes()), journaled_epoch);
+      Status journaled = (*wal)->Append(rec);
+      if (journaled.ok()) journaled = (*wal)->Sync();
+      if (!journaled.ok()) {
+        return FailWith("journaling to " + opts.wal_path, journaled);
+      }
+      os << "  \"journal\": {\"path\": \"";
+      JsonEscape(opts.wal_path, &os);
+      os << "\", \"epoch\": " << journaled_epoch << "},\n";
     }
     // Time only the detection itself, matching batch mode (update-file
-    // IO and overlay application are setup, not IncDect work).
+    // IO, journaling and overlay application are setup, not IncDect
+    // work).
     timer.Restart();
     // A loaded snapshot is exactly the pre-update graph (ΔG was applied
     // as the overlay on the materialized copy), so it serves as the
@@ -503,10 +605,11 @@ int Run(const Options& opts) {
       popts.base_snapshot = loaded_snapshot != nullptr
                                 ? loaded_snapshot.get()
                                 : built_snapshot.get();
+      popts.deadline = deadline;
+      popts.run_info = &run_info;
       auto result = PIncDect(g, *sigma, *batch, popts);
       if (!result.ok()) {
-        std::cerr << "ngdcheck: " << result.status().ToString() << "\n";
-        return 1;
+        return FailWith("incremental detection", result.status());
       }
       delta = std::move(result->delta);
     } else {
@@ -514,10 +617,11 @@ int Run(const Options& opts) {
       iopts.base_snapshot = loaded_snapshot != nullptr
                                 ? loaded_snapshot.get()
                                 : built_snapshot.get();
+      iopts.deadline = deadline;
+      iopts.run_info = &run_info;
       auto result = IncDect(g, *sigma, *batch, iopts);
       if (!result.ok()) {
-        std::cerr << "ngdcheck: " << result.status().ToString() << "\n";
-        return 1;
+        return FailWith("incremental detection", result.status());
       }
       delta = std::move(*result);
     }
@@ -532,6 +636,7 @@ int Run(const Options& opts) {
     os << "  \"removed\": ";
     WriteVioArray(delta.removed, *sigma, &os);
     os << ",\n";
+    WriteRunInfo(run_info, &os);
     os << "  \"elapsed_seconds\": " << elapsed << "\n";
   }
   os << "}\n";
