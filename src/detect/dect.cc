@@ -1,18 +1,28 @@
 #include "detect/dect.h"
 
+#include <algorithm>
 #include <optional>
 
 namespace ngd {
 
 namespace {
 
-/// Runs `callback` over the violations of every rule in Σ against one
+/// Runs one detection sweep over every rule in Σ against one
 /// materialized search backend. The start node and MatchPlan are hoisted
 /// out of the candidate loop: one plan per rule per detection call,
 /// shared across all of that rule's seed candidates (and, via the
-/// snapshot, across all rules of the call). A callback returning false
-/// ends that rule's search; it aborts the remaining rules too only when
-/// `stop_sweep_on_false` is set (the first-witness early exit).
+/// snapshot, across all rules of the call).
+///
+/// Emission has two modes:
+///   - `sink != nullptr` (Dect): full matches stream straight into the
+///     sink through a per-rule VioEmitter — batched block appends, no
+///     std::function dispatch, no per-match allocation and no per-match
+///     dedup (batch enumeration emits each binding exactly once per
+///     rule). `per_rule_limit` caps emissions per NGD (0 = unlimited),
+///     matching the old callback-counting semantics.
+///   - `sink == nullptr` (FindAnyViolation): `callback` receives each
+///     violation; returning false ends that rule's search and — with
+///     `stop_sweep_on_false` — the whole sweep (first-witness exit).
 ///
 /// `cancel` (optional) is polled between rules and inside the expansion
 /// loops; a trip marks the interrupted rule and every rule after it
@@ -22,7 +32,8 @@ template <typename PerViolation>
 void SweepRules(const Graph& g, const GraphSnapshot* snap,
                 const NgdSet& sigma, GraphView view,
                 bool stop_sweep_on_false, CancelCheck* cancel,
-                DetectRunInfo* info, const PerViolation& callback) {
+                DetectRunInfo* info, VioSet* sink, size_t per_rule_limit,
+                const PerViolation& callback) {
   auto mark_truncated_from = [&](size_t f) {
     info->truncated = true;
     for (size_t r = f; r < sigma.size(); ++r) info->rule_completed[r] = 0;
@@ -42,6 +53,12 @@ void SweepRules(const Graph& g, const GraphSnapshot* snap,
     cfg.view = view;
     cfg.find_violations = true;
     cfg.cancel = cancel;
+    std::optional<VioEmitter> emitter;
+    if (sink != nullptr) {
+      emitter.emplace(sink, static_cast<int>(f), ngd.pattern().NumNodes(),
+                      per_rule_limit);
+      cfg.emitter = &*emitter;
+    }
     const int start = ChooseStartNode(ngd.pattern(), cfg.MakeAccessor());
     const MatchPlan plan =
         BuildMatchPlan(ngd.pattern(), {start}, &ngd.X(), &ngd.Y());
@@ -49,8 +66,10 @@ void SweepRules(const Graph& g, const GraphSnapshot* snap,
         cfg, start, plan, [&](const Binding& binding) {
           return callback(static_cast<int>(f), binding);
         });
+    if (emitter.has_value()) emitter->Flush();
     if (cancel != nullptr && cancel->Stopped()) {
-      // Cancel/deadline stop, not a callback stop: rule f is incomplete.
+      // Cancel/deadline stop, not a callback/limit stop: rule f is
+      // incomplete.
       mark_truncated_from(f);
       return;
     }
@@ -58,41 +77,150 @@ void SweepRules(const Graph& g, const GraphSnapshot* snap,
   }
 }
 
+/// Regime probe for the kAuto cost model: samples a few seed expansions
+/// on the live graph and counts the violations they emit. When emission
+/// dominates (violation-dense graphs), matching speed is not the
+/// bottleneck and the O(|E|) snapshot build is pure overhead — the live
+/// engine wins. The probe is bounded: at most kProbeRules rules (spread
+/// across Σ), kProbeSeeds seed candidates each, and it stops the moment
+/// kProbeMatchCap violations are seen (already decisively dense). Work
+/// done here is a small prefix of what the live engine would do anyway,
+/// and it only runs once the seed-volume test has said "big sweep".
+bool EmissionDominated(const Graph& g, const NgdSet& sigma, GraphView view) {
+  constexpr size_t kProbeRules = 4;
+  constexpr size_t kProbeSeeds = 4;
+  constexpr size_t kProbeMatchCap = 256;
+  // Dense ⇔ sampled violations ≥ kDensePerSeed per probed seed.
+  constexpr size_t kDensePerSeed = 4;
+
+  const GraphAccessor acc(g, view);
+  const size_t stride = std::max<size_t>(1, sigma.size() / kProbeRules);
+  size_t seeds_probed = 0;
+  size_t violations = 0;
+  for (size_t f = 0; f < sigma.size() && violations < kProbeMatchCap;
+       f += stride) {
+    const Ngd& ngd = sigma[f];
+    SearchConfig cfg;
+    cfg.graph = &g;
+    cfg.pattern = &ngd.pattern();
+    cfg.x = &ngd.X();
+    cfg.y = &ngd.Y();
+    cfg.view = view;
+    cfg.find_violations = true;
+    const int start = ChooseStartNode(ngd.pattern(), acc);
+    const MatchPlan plan =
+        BuildMatchPlan(ngd.pattern(), {start}, &ngd.X(), &ngd.Y());
+    Binding binding(ngd.pattern().NumNodes(), kInvalidNode);
+    size_t rule_seeds = 0;
+    acc.ForEachCandidate(
+        ngd.pattern().node(start).label, [&](NodeId v) {
+          ++seeds_probed;
+          std::fill(binding.begin(), binding.end(), kInvalidNode);
+          binding[start] = v;
+          RunSeededSearch(cfg, plan, &binding, [&](const Binding&) {
+            ++violations;
+            return violations < kProbeMatchCap;
+          });
+          return ++rule_seeds < kProbeSeeds && violations < kProbeMatchCap;
+        });
+  }
+  if (seeds_probed == 0) return false;
+  return violations >= kDensePerSeed * seeds_probed;
+}
+
 }  // namespace
 
-void RemapRunInfo(const DetectRunInfo& inner, const std::vector<int>& kept,
+void RemapRunInfo(const DetectRunInfo& inner, const OptimizeReport& report,
                   size_t original_rules, DetectRunInfo* out) {
   out->truncated = inner.truncated;
-  out->rule_completed.assign(original_rules, inner.truncated ? 0 : 1);
-  for (size_t i = 0; i < kept.size(); ++i) {
-    out->rule_completed[static_cast<size_t>(kept[i])] =
-        i < inner.rule_completed.size() ? inner.rule_completed[i] : 0;
+  // Kept rules copy their marks from the minimized run.
+  std::vector<int8_t> mark(original_rules, -1);  // -1 unresolved, 0/1 known
+  for (size_t i = 0; i < report.kept.size(); ++i) {
+    const size_t orig = static_cast<size_t>(report.kept[i]);
+    mark[orig] = i < inner.rule_completed.size() && inner.rule_completed[i]
+                     ? 1
+                     : (inner.truncated ? 0 : 1);
+  }
+  // Dropped rules propagate completion through the implication cover:
+  // rule d's violations are covered by the rules that implied it, so d's
+  // report is complete exactly when every (transitive) implier finished
+  // enumerating. The implied_by edges always point to rules that were
+  // alive at drop time, so the relation is a DAG rooted at kept rules.
+  const bool have_cover = report.implied_by.size() == original_rules;
+  std::vector<int> stack;
+  for (int d : report.dropped) {
+    if (mark[static_cast<size_t>(d)] != -1) continue;
+    if (!have_cover || report.implied_by[static_cast<size_t>(d)].empty()) {
+      // No recorded cover (defensive): fall back to the conservative
+      // whole-run mark.
+      mark[static_cast<size_t>(d)] = inner.truncated ? 0 : 1;
+      continue;
+    }
+    stack.push_back(d);
+    while (!stack.empty()) {
+      const size_t r = static_cast<size_t>(stack.back());
+      bool ready = true;
+      bool all_complete = true;
+      for (int j : report.implied_by[r]) {
+        const int8_t m = mark[static_cast<size_t>(j)];
+        if (m == -1) {
+          if (!have_cover || report.implied_by[static_cast<size_t>(j)].empty()) {
+            mark[static_cast<size_t>(j)] = inner.truncated ? 0 : 1;
+            if (mark[static_cast<size_t>(j)] == 0) all_complete = false;
+            continue;
+          }
+          stack.push_back(j);
+          ready = false;
+        } else if (m == 0) {
+          all_complete = false;
+        }
+      }
+      if (!ready) continue;
+      mark[r] = all_complete ? 1 : 0;
+      stack.pop_back();
+    }
+  }
+  out->rule_completed.assign(original_rules, 0);
+  for (size_t r = 0; r < original_rules; ++r) {
+    out->rule_completed[r] = mark[r] == 1 ? 1 : 0;
   }
 }
 
-bool WantSnapshot(const Graph& g, const NgdSet& sigma) {
-  if (g.NumEdges(GraphView::kNew) + g.NumEdges(GraphView::kOld) == 0) {
-    return false;
-  }
-  // Σ_f |C(start_f)| approximates how many seed expansions the sweep
-  // performs; each streams an adjacency of average length 2|E|/|V|, while
-  // the snapshot build streams the adjacency a constant number of times
-  // with a sort-like constant. Seed volume ≥ 8|V| ⇒ the live engine
-  // would touch well over an order of magnitude more entries than the
-  // build, so the snapshot amortizes within this call.
-  const GraphAccessor acc(g, GraphView::kNew);
+bool WantSnapshot(const Graph& g, const NgdSet& sigma, GraphView view) {
+  // Regime guard and seed counting agree on the view being detected: a
+  // graph whose edges are all pending in the OTHER view must not pay a
+  // build for an edge-empty snapshot.
+  if (g.NumEdges(view) == 0) return false;
+  // Regime 1 — matching-dominated. Σ_f |C(start_f)| approximates how many
+  // seed expansions the sweep performs; each streams an adjacency of
+  // average length 2|E|/|V|, while the snapshot build streams the
+  // adjacency a constant number of times with a sort-like constant. Seed
+  // volume ≥ 8|V| ⇒ the live engine would touch well over an order of
+  // magnitude more entries than the build, so the snapshot amortizes
+  // within this call.
+  const GraphAccessor acc(g, view);
   size_t seed_candidates = 0;
   const size_t threshold = 8 * g.NumNodes();
+  bool big_sweep = false;
   for (size_t f = 0; f < sigma.size(); ++f) {
     const Pattern& pattern = sigma[f].pattern();
     seed_candidates += acc.CandidateCount(
         pattern.node(ChooseStartNode(pattern, acc)).label);
-    if (seed_candidates >= threshold) return true;
+    if (seed_candidates >= threshold) {
+      big_sweep = true;
+      break;
+    }
   }
-  return false;
+  if (!big_sweep) return false;
+  // Regime 2 — emission-dominated. A big sweep over a violation-dense
+  // graph spends its time materializing violations, which both engines
+  // pay identically; the build no longer amortizes against the (small)
+  // matching share. Sample the violation density before committing.
+  return !EmissionDominated(g, sigma, view);
 }
 
-bool ResolveSnapshot(const Graph& g, const NgdSet& sigma, SnapshotMode mode) {
+bool ResolveSnapshot(const Graph& g, const NgdSet& sigma, SnapshotMode mode,
+                     GraphView view) {
   switch (mode) {
     case SnapshotMode::kAlways:
       return true;
@@ -101,7 +229,7 @@ bool ResolveSnapshot(const Graph& g, const NgdSet& sigma, SnapshotMode mode) {
     case SnapshotMode::kAuto:
       break;
   }
-  return WantSnapshot(g, sigma);
+  return WantSnapshot(g, sigma, view);
 }
 
 VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
@@ -115,14 +243,15 @@ VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
     inner.run_info = &inner_info;
     VioSet vio = RemapViolations(Dect(g, m.sigma, inner), m.report.kept);
     if (opts.run_info != nullptr) {
-      RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
+      RemapRunInfo(inner_info, m.report, sigma.size(), opts.run_info);
     }
     return vio;
   }
 
   std::optional<GraphSnapshot> snap;
   const GraphSnapshot* use_snap = opts.snapshot;
-  if (use_snap == nullptr && ResolveSnapshot(g, sigma, opts.snapshot_mode)) {
+  if (use_snap == nullptr &&
+      ResolveSnapshot(g, sigma, opts.snapshot_mode, opts.view)) {
     snap.emplace(g, opts.view);
     use_snap = &*snap;
   }
@@ -134,23 +263,10 @@ VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
   CancelCheck* cancel = check.active() ? &check : nullptr;
 
   VioSet vio;
-  int current_ngd = -1;
-  size_t found = 0;
   SweepRules(g, use_snap, sigma, opts.view,
-             /*stop_sweep_on_false=*/false, cancel, info,
-             [&](int f, const Binding& binding) {
-               if (f != current_ngd) {
-                 current_ngd = f;
-                 found = 0;
-               }
-               // The engine reuses `binding` as its backtracking buffer,
-               // so the violation keeps a copy of h(x̄); VioSet::Add then
-               // moves the Violation in without another copy.
-               vio.Add(Violation{f, binding});
-               ++found;
-               return opts.max_violations_per_ngd == 0 ||
-                      found < opts.max_violations_per_ngd;
-             });
+             /*stop_sweep_on_false=*/false, cancel, info, &vio,
+             opts.max_violations_per_ngd,
+             [](int, const Binding&) { return true; });
   return vio;
 }
 
@@ -170,7 +286,7 @@ std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
           m.report.kept[static_cast<size_t>(witness->ngd_index)];
     }
     if (opts.run_info != nullptr) {
-      RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
+      RemapRunInfo(inner_info, m.report, sigma.size(), opts.run_info);
     }
     return witness;
   }
@@ -181,7 +297,8 @@ std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
   // witness would waste.
   std::optional<GraphSnapshot> snap;
   const GraphSnapshot* use_snap = opts.snapshot;
-  if (use_snap == nullptr && ResolveSnapshot(g, sigma, opts.snapshot_mode)) {
+  if (use_snap == nullptr &&
+      ResolveSnapshot(g, sigma, opts.snapshot_mode, opts.view)) {
     snap.emplace(g, opts.view);
     use_snap = &*snap;
   }
@@ -193,8 +310,8 @@ std::optional<Violation> FindAnyViolation(const Graph& g, const NgdSet& sigma,
 
   std::optional<Violation> witness;
   SweepRules(g, use_snap, sigma, opts.view,
-             /*stop_sweep_on_false=*/true, cancel, info,
-             [&](int f, const Binding& binding) {
+             /*stop_sweep_on_false=*/true, cancel, info, /*sink=*/nullptr,
+             /*per_rule_limit=*/0, [&](int f, const Binding& binding) {
                witness = Violation{f, binding};
                return false;  // stop at first violation
              });

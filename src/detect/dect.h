@@ -39,8 +39,9 @@ enum class SnapshotMode : uint8_t {
 /// rule f's enumeration finished, i.e. whether its reported violations
 /// are the complete set for that rule. An untruncated run marks every
 /// rule completed. Under Σ-minimization the marks are remapped to the
-/// caller's catalog; a dropped (implied) rule counts completed only when
-/// the whole minimized run completed.
+/// caller's catalog through the implication cover: a dropped (implied)
+/// rule counts completed exactly when every rule that (transitively)
+/// implied it finished enumerating (see RemapRunInfo).
 struct DetectRunInfo {
   bool truncated = false;
   std::vector<char> rule_completed;  // indexed by the caller's Σ
@@ -81,21 +82,34 @@ struct DectOptions {
 };
 
 /// Remaps a DetectRunInfo produced against a minimized Σ back to the
-/// caller's catalog: kept rules copy their marks; dropped (implied) rules
-/// are complete iff the minimized run was untruncated (their coverage
-/// argument needs the kept rules fully enumerated).
-void RemapRunInfo(const DetectRunInfo& inner, const std::vector<int>& kept,
+/// caller's catalog: kept rules copy their marks; a dropped (implied)
+/// rule is complete iff every rule on its implication cover
+/// (OptimizeReport::implied_by, followed transitively to kept rules)
+/// completed — its violations are covered by exactly those rules, so a
+/// truncation elsewhere in the sweep does not poison its mark. Reports
+/// without a recorded cover (e.g. served from a pre-upgrade cache entry)
+/// fall back to the conservative whole-run mark.
+void RemapRunInfo(const DetectRunInfo& inner, const OptimizeReport& report,
                   size_t original_rules, DetectRunInfo* out);
 
-/// The kAuto cost model: true when the seed-candidate volume of Σ (the
-/// adjacency the live engine would stream) is large enough to amortize
-/// the O(|E|) snapshot build within this one call.
-bool WantSnapshot(const Graph& g, const NgdSet& sigma);
+/// The kAuto cost model, two regimes, both evaluated on `view` — the view
+/// detection will actually match (a pending-heavy overlay graph must not
+/// be judged by the other view's edges):
+///   1. matching-dominated: the seed-candidate volume of Σ (the adjacency
+///      the live engine would stream) must be large enough to amortize
+///      the O(|E|) snapshot build within this one call;
+///   2. emission-dominated: if a bounded density probe then finds the
+///      graph violation-dense, materializing violations dominates either
+///      engine and the build never pays for itself — stay live.
+bool WantSnapshot(const Graph& g, const NgdSet& sigma,
+                  GraphView view = GraphView::kNew);
 
 /// Resolves a SnapshotMode to a concrete build-the-snapshot decision
-/// (kAuto defers to WantSnapshot). Shared by Dect, FindAnyViolation and
-/// PDect so all engines make the same choice for the same options.
-bool ResolveSnapshot(const Graph& g, const NgdSet& sigma, SnapshotMode mode);
+/// (kAuto defers to WantSnapshot on `view`). Shared by Dect,
+/// FindAnyViolation and PDect so all engines make the same choice for the
+/// same options.
+bool ResolveSnapshot(const Graph& g, const NgdSet& sigma, SnapshotMode mode,
+                     GraphView view = GraphView::kNew);
 
 /// Vio(Σ, G): all violations of all NGDs in Σ.
 VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts = {});

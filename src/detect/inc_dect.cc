@@ -275,7 +275,7 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
     auto delta = IncDect(g, m.sigma, batch, inner);
     if (!delta.ok()) return delta;
     if (opts.run_info != nullptr) {
-      RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
+      RemapRunInfo(inner_info, m.report, sigma.size(), opts.run_info);
     }
     return RemapDelta(*std::move(delta), m.report.kept);
   }
@@ -376,7 +376,12 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
                                                  task.update_index,
                                                  task.pattern_edge);
                       if (canonical) {
-                        target.Add(Violation{task.ngd_index, match});
+                        // Minimal-pivot canonicality already guarantees
+                        // exactly-once emission per match per update
+                        // kind; the checked insert's hash probe would
+                        // only re-prove it.
+                        target.AppendUnchecked(task.ngd_index, match.data(),
+                                               match.size());
                       }
                       return true;
                     });

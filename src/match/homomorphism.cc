@@ -47,7 +47,10 @@ bool Expand(const SearchConfig& cfg, const GraphAccessor& g,
   if (step_idx == plan.steps.size()) {
     // Full match. In violation mode the literal pruning above guarantees
     // X is satisfied and Y is not (y_false), except for the empty-Y
-    // degenerate case which can never be violated.
+    // degenerate case which can never be violated. With an emitter the
+    // binding goes straight into its staging buffer — no std::function
+    // dispatch, no per-match allocation.
+    if (cfg.emitter != nullptr) return cfg.emitter->Emit(*binding);
     return callback(*binding);
   }
   const ExpansionStep& step = plan.steps[step_idx];

@@ -22,6 +22,7 @@
 #include <functional>
 
 #include "core/ngd.h"
+#include "detect/violation.h"
 #include "graph/accessor.h"
 #include "graph/neighborhood.h"
 #include "graph/snapshot.h"
@@ -68,6 +69,13 @@ struct SearchConfig {
   /// a callback-requested stop; callers that need to tell the two apart
   /// check cancel->Stopped() afterwards.
   CancelCheck* cancel = nullptr;
+  /// Optional batched emission sink. When set, full matches bypass the
+  /// MatchCallback entirely: the engine appends h(x̄) to the emitter's
+  /// staging buffer (flushed into its VioSet in blocks), and an emitter
+  /// limit stop behaves like a callback-requested stop. Only valid for
+  /// enumerations that provably cannot produce duplicate bindings (batch
+  /// detection per rule — see VioSet::AppendUnchecked).
+  VioEmitter* emitter = nullptr;
 
   /// The accessor the engine actually matches against.
   GraphAccessor MakeAccessor() const {

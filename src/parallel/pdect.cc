@@ -100,7 +100,11 @@ class FragmentDectEngine {
               []() {}, token_);
 
     PDectResult result;
-    for (int i = 0; i < p_; ++i) result.vio.Merge(std::move(local_[i]));
+    // Owner-computes seeding keeps per-worker sets globally disjoint, so
+    // the merge is a rehash-free arena concatenation.
+    for (int i = 0; i < p_; ++i) {
+      result.vio.MergeDisjointUnchecked(std::move(local_[i]));
+    }
     result.crossing_edges = rt_.partition().crossing_edges;
     result.fragments = p_;
     result.metrics = SnapshotOf(metrics_);
@@ -207,7 +211,10 @@ class FragmentDectEngine {
     if (static_cast<size_t>(depth) == plan.steps.size()) {
       // A full-depth branch has every X literal admitted and Y violated
       // (the all-Y-true case is pruned when the last Y literal binds).
-      local_[worker].Add(Violation{r, binding});
+      // Owner-computes seeding plus disjoint slice splits make the
+      // per-worker sets globally duplicate-free, so the append skips
+      // the hash probe.
+      local_[worker].AppendUnchecked(r, binding.data(), binding.size());
       return;
     }
     const Pattern& pattern = ngd.pattern();
@@ -423,7 +430,11 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
         binding[seed.start] = seed.node;
         RunSeededSearch(cfg, plans[seed.ngd_index], &binding,
                         [&](const Binding& match) {
-                          local[i].Add(Violation{seed.ngd_index, match});
+                          // Each (rule, seed) pair is assigned to exactly
+                          // one worker and seeded expansion never repeats
+                          // a binding, so the append skips the hash probe.
+                          local[i].AppendUnchecked(seed.ngd_index,
+                                                   match.data(), match.size());
                           return true;
                         });
         if (cancel != nullptr && cancel->Stopped()) {
@@ -435,7 +446,11 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
   for (auto& w : workers) w.join();
 
   PDectResult result;
-  for (int i = 0; i < p; ++i) result.vio.Merge(std::move(local[i]));
+  // Per-worker sets are globally disjoint (seed ownership), so the merge
+  // is a rehash-free arena concatenation.
+  for (int i = 0; i < p; ++i) {
+    result.vio.MergeDisjointUnchecked(std::move(local[i]));
+  }
   result.crossing_edges = partition.crossing_edges;
   result.fragments = p;
   result.metrics = SnapshotOf(metrics);
@@ -469,7 +484,7 @@ PDectResult PDect(const Graph& g, const NgdSet& sigma,
     PDectResult result = PDect(g, m.sigma, inner);
     result.vio = RemapViolations(std::move(result.vio), m.report.kept);
     if (opts.run_info != nullptr) {
-      RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
+      RemapRunInfo(inner_info, m.report, sigma.size(), opts.run_info);
     }
     return result;
   }

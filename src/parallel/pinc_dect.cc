@@ -163,9 +163,12 @@ class PIncDectEngine {
     }
 
     PIncDectResult result;
+    // Per-worker deltas are globally disjoint (exactly-once canonical
+    // emission), so the merges are rehash-free arena concatenations.
     for (int i = 0; i < p_; ++i) {
-      result.delta.added.Merge(std::move(local_added_[i]));
-      result.delta.removed.Merge(std::move(local_removed_[i]));
+      result.delta.added.MergeDisjointUnchecked(std::move(local_added_[i]));
+      result.delta.removed.MergeDisjointUnchecked(
+          std::move(local_removed_[i]));
     }
     result.candidate_neighborhood_nodes = nc_.size();
     result.messages = metrics_.messages.load();
@@ -426,8 +429,7 @@ class PIncDectEngine {
     }
   }
 
-  /// Consumes the unit: a full-depth unit is dead after emission, so its
-  /// binding is moved — not copied — into the Violation.
+  /// Emits a full-depth unit's binding into the worker-local delta.
   void EmitIfCanonical(int worker, PWorkUnit& unit, const Pattern& pattern,
                        UpdateKind kind) {
     const bool canonical =
@@ -439,12 +441,13 @@ class PIncDectEngine {
     if (!canonical) {
       return;
     }
-    Violation v{unit.ngd_index, std::move(unit.binding)};
-    if (kind == UpdateKind::kInsert) {
-      local_added_[worker].Add(std::move(v));
-    } else {
-      local_removed_[worker].Add(std::move(v));
-    }
+    // Minimal-pivot canonicality emits each match exactly once per
+    // update kind, and disjoint slice splits keep that one emission on a
+    // single worker — the append never needs the hash probe.
+    VioSet& target = kind == UpdateKind::kInsert ? local_added_[worker]
+                                                 : local_removed_[worker];
+    target.AppendUnchecked(unit.ngd_index, unit.binding.data(),
+                           unit.binding.size());
   }
 
   const Graph& g_;
@@ -490,7 +493,7 @@ StatusOr<PIncDectResult> PIncDect(const Graph& g, const NgdSet& sigma,
       if (!result.ok()) return result;
       result->delta = RemapDelta(std::move(result->delta), m.report.kept);
       if (opts.run_info != nullptr) {
-        RemapRunInfo(inner_info, m.report.kept, sigma.size(), opts.run_info);
+        RemapRunInfo(inner_info, m.report, sigma.size(), opts.run_info);
       }
       return result;
     }

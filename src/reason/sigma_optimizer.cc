@@ -256,12 +256,19 @@ bool CompatibleHelper(const RuleInfo& helper_info, const RuleInfo& target_info,
 
 // ---- Process-wide kept-set cache ----------------------------------------
 
+struct SigmaCacheEntry {
+  std::vector<int> kept;
+  // The implication cover travels with the kept-set so cache-served runs
+  // remap DetectRunInfo as precisely as solver-backed ones.
+  std::vector<std::vector<int>> implied_by;
+};
+
 struct SigmaCache {
   std::mutex mu;
-  // serialized Σ -> kept original indices. Bounded: cleared wholesale when
+  // serialized Σ -> minimization result. Bounded: cleared wholesale when
   // it outgrows the cap (randomized test sweeps would otherwise grow it
   // without limit; production catalogs hold a handful of entries).
-  std::unordered_map<std::string, std::vector<int>> entries;
+  std::unordered_map<std::string, SigmaCacheEntry> entries;
   static constexpr size_t kMaxEntries = 256;
 };
 
@@ -313,6 +320,7 @@ MinimizedSigma MinimizeSigma(const NgdSet& sigma, const SchemaPtr& schema,
 
   std::vector<bool> alive(n, true);
   OptimizeReport report;
+  report.implied_by.assign(n, {});
 
   // Pass 0: exact structural duplicates. The later copy is implied by the
   // earlier one (self-implication), no solver needed.
@@ -321,10 +329,10 @@ MinimizedSigma MinimizeSigma(const NgdSet& sigma, const SchemaPtr& schema,
     if (!info[i].valid) continue;
     auto [it, inserted] =
         first_with.emplace(info[i].serialized, static_cast<int>(i));
-    (void)it;
     if (!inserted) {
       alive[i] = false;
       ++report.duplicate_drops;
+      report.implied_by[i] = {it->second};
     }
   }
 
@@ -363,6 +371,10 @@ MinimizedSigma MinimizeSigma(const NgdSet& sigma, const SchemaPtr& schema,
     ++report.implication_checks;
     if (imp.implied == Decision::kYes) {
       alive[i] = false;
+      // The cover edge records the exact helper set behind the kYes —
+      // every helper was alive at this point, so transitive resolution
+      // from any dropped rule bottoms out in kept rules.
+      report.implied_by[i] = std::move(helpers);
     } else if (imp.implied == Decision::kUnknown) {
       ++report.unknown;
     }
@@ -400,8 +412,11 @@ bool ResolveMinimizedSigma(const NgdSet& sigma, const SchemaPtr& schema,
     std::lock_guard<std::mutex> lock(cache.mu);
     auto it = cache.entries.find(key);
     if (it != cache.entries.end()) {
-      if (it->second.size() == sigma.size()) return false;  // no-op cached
-      *out = FromKept(sigma, it->second);
+      if (it->second.kept.size() == sigma.size()) {
+        return false;  // no-op cached
+      }
+      *out = FromKept(sigma, it->second.kept);
+      out->report.implied_by = it->second.implied_by;
       out->report.from_cache = true;
       return true;
     }
@@ -413,7 +428,8 @@ bool ResolveMinimizedSigma(const NgdSet& sigma, const SchemaPtr& schema,
     if (cache.entries.size() >= SigmaCache::kMaxEntries) {
       cache.entries.clear();
     }
-    cache.entries.emplace(key, m.report.kept);
+    cache.entries.emplace(key,
+                          SigmaCacheEntry{m.report.kept, m.report.implied_by});
   }
   if (m.report.dropped.empty()) return false;
   *out = std::move(m);
@@ -427,13 +443,11 @@ void ClearSigmaOptimizerCache() {
 }
 
 VioSet RemapViolations(VioSet vio, const std::vector<int>& kept) {
-  VioSet out;
-  for (const Violation& v : vio.items()) {
-    Violation r = v;
-    r.ngd_index = kept[static_cast<size_t>(v.ngd_index)];
-    out.Add(std::move(r));
-  }
-  return out;
+  // In place: kept[] is strictly increasing, so distinct minimized
+  // indices stay distinct — set-ness is preserved without a rehash, and
+  // the arena moves through untouched.
+  vio.RemapNgdIndices(kept);
+  return vio;
 }
 
 DeltaVio RemapDelta(DeltaVio delta, const std::vector<int>& kept) {

@@ -91,6 +91,16 @@ struct OptimizeReport {
   std::vector<int> kept;
   /// Original Σ indices of dropped (implied) rules, ascending.
   std::vector<int> dropped;
+  /// The implication cover, indexed by ORIGINAL Σ index: for each dropped
+  /// rule d, implied_by[d] lists the original indices of the rules whose
+  /// conjunction implied it (the single earlier copy for a duplicate
+  /// drop; the helper set that produced the solver's kYes otherwise).
+  /// Kept rules have empty lists. Edges always point to rules alive at
+  /// drop time, so following them transitively from any dropped rule
+  /// terminates in kept rules (a DAG ordered by drop order). Empty
+  /// when the report came from a cache entry predating this field.
+  /// RemapRunInfo walks it to propagate per-rule completion honestly.
+  std::vector<std::vector<int>> implied_by;
   /// Implication checks that exhausted the budget (rule kept — an
   /// honest kUnknown is never treated as implied).
   size_t unknown = 0;

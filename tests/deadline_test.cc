@@ -369,5 +369,140 @@ TEST(DeadlineTest, IncrementalHubWorkloadRespondsWithinTwiceTheDeadline) {
   w.graph->Rollback();
 }
 
+// ---- RemapRunInfo: completion through the implication cover --------------
+//
+// Under Σ-minimization a truncated run must still report honest per-rule
+// marks for the DROPPED rules: a dropped rule's violations are covered by
+// the rules that implied it, so its report is complete exactly when every
+// (transitive) implier finished enumerating — not only when the whole
+// minimized run did.
+
+OptimizeReport MakeReport(std::vector<int> kept, std::vector<int> dropped,
+                          std::vector<std::vector<int>> implied_by) {
+  OptimizeReport r;
+  r.kept = std::move(kept);
+  r.dropped = std::move(dropped);
+  r.implied_by = std::move(implied_by);
+  return r;
+}
+
+TEST(RemapRunInfoTest, DroppedRuleCompleteWhenImplierCompleted) {
+  // Σ = {0,1,2}; 1 and 2 dropped, implied in a chain 2 <- 1 <- 0. The
+  // minimized run (just rule 0) was truncated AFTER finishing rule 0 —
+  // impossible for a single-rule sweep in practice, so model the
+  // interesting shape with two kept rules below; here rule 0 completed.
+  const OptimizeReport report =
+      MakeReport({0}, {1, 2}, {{}, {0}, {1}});
+  DetectRunInfo inner;
+  inner.truncated = true;
+  inner.rule_completed = {1};
+  DetectRunInfo out;
+  RemapRunInfo(inner, report, 3, &out);
+  EXPECT_TRUE(out.truncated);
+  ASSERT_EQ(out.rule_completed.size(), 3u);
+  // Rule 0 finished, so the chain of rules it implies is fully covered
+  // despite the truncation.
+  EXPECT_EQ(out.rule_completed[0], 1);
+  EXPECT_EQ(out.rule_completed[1], 1);
+  EXPECT_EQ(out.rule_completed[2], 1);
+}
+
+TEST(RemapRunInfoTest, DroppedRuleIncompleteWhenAnyImplierTruncated) {
+  // Σ = {0..4}; kept {0,3}, dropped {1,2,4}. The truncated run finished
+  // rule 0 but not rule 3. 1 (implied by 0) is complete; 2 (implied by
+  // 3) and 4 (implied by both) are not.
+  const OptimizeReport report =
+      MakeReport({0, 3}, {1, 2, 4}, {{}, {0}, {3}, {}, {0, 3}});
+  DetectRunInfo inner;
+  inner.truncated = true;
+  inner.rule_completed = {1, 0};
+  DetectRunInfo out;
+  RemapRunInfo(inner, report, 5, &out);
+  EXPECT_TRUE(out.truncated);
+  ASSERT_EQ(out.rule_completed.size(), 5u);
+  EXPECT_EQ(out.rule_completed[0], 1);
+  EXPECT_EQ(out.rule_completed[1], 1);
+  EXPECT_EQ(out.rule_completed[2], 0);
+  EXPECT_EQ(out.rule_completed[3], 0);
+  EXPECT_EQ(out.rule_completed[4], 0);
+}
+
+TEST(RemapRunInfoTest, TransitiveChainResolvesThroughDroppedImpliers) {
+  // 3 implied by 2, 2 implied by 1, 1 implied by 0 (kept). Completion of
+  // 0 must propagate down the whole chain; incompletion likewise.
+  const OptimizeReport report =
+      MakeReport({0}, {1, 2, 3}, {{}, {0}, {1}, {2}});
+  for (const int completed : {0, 1}) {
+    DetectRunInfo inner;
+    inner.truncated = true;
+    inner.rule_completed = {static_cast<char>(completed)};
+    DetectRunInfo out;
+    RemapRunInfo(inner, report, 4, &out);
+    for (size_t r = 0; r < 4; ++r) {
+      EXPECT_EQ(out.rule_completed[r], completed) << "rule " << r;
+    }
+  }
+}
+
+TEST(RemapRunInfoTest, FallsBackWithoutRecordedCover) {
+  // A report without implied_by (e.g. a pre-upgrade cache entry) keeps
+  // the conservative semantics: dropped rules complete iff untruncated.
+  const OptimizeReport report = MakeReport({0}, {1, 2}, {});
+  DetectRunInfo truncated_inner;
+  truncated_inner.truncated = true;
+  truncated_inner.rule_completed = {1};
+  DetectRunInfo out;
+  RemapRunInfo(truncated_inner, report, 3, &out);
+  EXPECT_EQ(out.rule_completed[0], 1);  // kept rule keeps its own mark
+  EXPECT_EQ(out.rule_completed[1], 0);
+  EXPECT_EQ(out.rule_completed[2], 0);
+
+  DetectRunInfo clean_inner;
+  clean_inner.truncated = false;
+  clean_inner.rule_completed = {1};
+  RemapRunInfo(clean_inner, report, 3, &out);
+  EXPECT_EQ(out.rule_completed[1], 1);
+  EXPECT_EQ(out.rule_completed[2], 1);
+}
+
+TEST(RemapRunInfoTest, MinimizeSigmaRecordsResolvableCover) {
+  // End-to-end: a catalog with an exact duplicate must come back with an
+  // implication-cover edge from the duplicate to the first copy, and
+  // every dropped rule's cover must resolve transitively to kept rules.
+  SchemaPtr schema = Schema::Create();
+  NgdSet sigma = MustParse(std::string(testing_util::kPhi1) +
+                               testing_util::kPhi2 + testing_util::kPhi1,
+                           schema);
+  ASSERT_EQ(sigma.size(), 3u);
+  const MinimizedSigma m = MinimizeSigma(sigma, schema);
+  ASSERT_EQ(m.report.implied_by.size(), 3u);
+  ASSERT_FALSE(m.report.dropped.empty());
+  for (const int d : m.report.dropped) {
+    // Resolve the cover transitively; it must terminate in kept rules.
+    std::vector<int> frontier = m.report.implied_by[static_cast<size_t>(d)];
+    ASSERT_FALSE(frontier.empty()) << "dropped rule " << d << " has no cover";
+    for (size_t guard = 0; !frontier.empty() && guard < 16; ++guard) {
+      std::vector<int> next;
+      for (const int j : frontier) {
+        ASSERT_GE(j, 0);
+        ASSERT_LT(static_cast<size_t>(j), sigma.size());
+        ASSERT_NE(j, d) << "self-implication edge";
+        if (std::find(m.report.kept.begin(), m.report.kept.end(), j) ==
+            m.report.kept.end()) {
+          const auto& up = m.report.implied_by[static_cast<size_t>(j)];
+          ASSERT_FALSE(up.empty()) << "dangling cover at rule " << j;
+          next.insert(next.end(), up.begin(), up.end());
+        }
+      }
+      frontier = std::move(next);
+    }
+    EXPECT_TRUE(frontier.empty()) << "cover of rule " << d
+                                  << " did not resolve to kept rules";
+  }
+  // The duplicate copy (index 2) is implied by the first copy (index 0).
+  ASSERT_EQ(m.report.implied_by[2].size(), 1u);
+  EXPECT_EQ(m.report.implied_by[2][0], 0);
+}
+
 }  // namespace
 }  // namespace ngd

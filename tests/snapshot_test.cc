@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 
 #include "detect/dect.h"
 #include "discovery/ngd_generator.h"
@@ -207,6 +208,32 @@ TEST_F(SnapshotTest, WantSnapshotCostModel) {
   NgdSet broad;
   for (int i = 0; i < 12; ++i) broad.Add(make_rule(person_));
   EXPECT_TRUE(WantSnapshot(g_, broad));
+
+  // Pending-overlay regression: delete every edge (pending, uncommitted).
+  // kNew is now edge-empty — a snapshot of it would be pointless — while
+  // kOld still holds the full graph. The guard and the seed counting must
+  // agree on the view being detected: the old code summed kNew+kOld edges
+  // but counted candidates on kNew, so this graph took the wrong branch.
+  std::vector<std::tuple<NodeId, NodeId, LabelId>> edges;
+  GraphAccessor acc(g_, GraphView::kNew);
+  for (NodeId v = 0; v < g_.NumNodes(); ++v) {
+    for (const LabelId lbl : {knows_, lives_}) {
+      acc.ForEachNeighbor(v, /*out=*/true, lbl, [&](NodeId w) {
+        edges.emplace_back(v, w, lbl);
+        return true;
+      });
+    }
+  }
+  ASSERT_FALSE(edges.empty());
+  for (const auto& [src, dst, lbl] : edges) {
+    ASSERT_TRUE(g_.DeleteEdge(src, dst, lbl).ok());
+  }
+  ASSERT_EQ(g_.NumEdges(GraphView::kNew), 0u);
+  ASSERT_GT(g_.NumEdges(GraphView::kOld), 0u);
+  EXPECT_FALSE(WantSnapshot(g_, broad));                  // detected view kNew
+  EXPECT_FALSE(WantSnapshot(g_, broad, GraphView::kNew));
+  EXPECT_TRUE(WantSnapshot(g_, broad, GraphView::kOld));  // kOld unaffected
+  g_.Rollback();
 }
 
 // ---- Equivalence property: snapshot Dect == live Dect ----------------------
