@@ -263,6 +263,7 @@ VioSet Dect(const Graph& g, const NgdSet& sigma, const DectOptions& opts) {
   CancelCheck* cancel = check.active() ? &check : nullptr;
 
   VioSet vio;
+  if (opts.spill != nullptr) vio.EnableSpill(*opts.spill);
   SweepRules(g, use_snap, sigma, opts.view,
              /*stop_sweep_on_false=*/false, cancel, info, &vio,
              opts.max_violations_per_ngd,

@@ -79,6 +79,12 @@ struct DectOptions {
   /// Optional out-param (must outlive the call): filled on every run,
   /// truncated or not. Engines re-entering under Σ-minimization remap it.
   DetectRunInfo* run_info = nullptr;
+  /// Streaming results: when set, the returned VioSet spills sorted
+  /// checksummed segments past opts->budget_bytes instead of holding
+  /// everything resident; read it back with VioSet::OpenCursor (the
+  /// checked/whole-set surface is then off limits — see
+  /// detect/vio_stream.h).
+  const VioSpillOptions* spill = nullptr;
 };
 
 /// Remaps a DetectRunInfo produced against a minimized Σ back to the

@@ -322,6 +322,13 @@ StatusOr<DeltaVio> IncDect(const Graph& g, const NgdSet& sigma,
   CancelCheck* cancel = check.active() ? &check : nullptr;
 
   DeltaVio delta;
+  if (opts.spill != nullptr) {
+    VioSpillOptions side = *opts.spill;
+    side.path_prefix = opts.spill->path_prefix + ".add";
+    delta.added.EnableSpill(side);
+    side.path_prefix = opts.spill->path_prefix + ".rem";
+    delta.removed.EnableSpill(side);
+  }
   for (size_t t = 0; t < tasks.size(); ++t) {
     const PivotTask& task = tasks[t];
     if (cancel != nullptr && cancel->ShouldStop()) {

@@ -214,6 +214,10 @@ struct IncDectOptions {
   CancelToken* cancel = nullptr;
   Deadline deadline = {};
   DetectRunInfo* run_info = nullptr;
+  /// Streaming results: ΔVio+ spills under "<path_prefix>.add", ΔVio-
+  /// under "<path_prefix>.rem" (see DectOptions::spill and
+  /// detect/vio_stream.h).
+  const VioSpillOptions* spill = nullptr;
 };
 
 /// The kAuto cost model: true when the depth-1 frontier the pivot tasks

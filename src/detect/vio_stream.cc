@@ -1,0 +1,517 @@
+#include "detect/vio_stream.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/fs.h"
+#include "util/hash.h"
+
+namespace ngd {
+
+namespace {
+
+// Segment wire format ("<prefix>.seg<N>.ngdvio"):
+//   header (48 bytes):
+//     char     magic[8]        "NGDVSEG1"
+//     uint32   version         1
+//     uint32   flags           0
+//     uint64   record_count
+//     uint64   payload_bytes
+//     uint64   payload_fnv1a
+//     uint64   header_fnv1a    over the preceding 40 bytes
+//   payload: records back-to-back, already in Sorted() order:
+//     int32 ngd_index, uint32 len, uint32 nodes[len]
+constexpr char kSegMagic[8] = {'N', 'G', 'D', 'V', 'S', 'E', 'G', '1'};
+constexpr uint32_t kSegVersion = 1;
+constexpr size_t kSegHeaderBytes = 48;
+
+/// Resident floor before a flush is worthwhile: one page. A budget below
+/// this still spills, just never in sub-page segments (which would turn
+/// per-record appends into per-record fsyncs).
+constexpr size_t kMinSpillBytes = 4096;
+
+/// Flush this far *before* the budget so the resident footprint stays
+/// strictly under it (an append block is far smaller than the headroom).
+constexpr size_t kSpillHeadroomBytes = size_t{256} << 10;
+
+/// Per-segment read buffer for the cursor — the "bounded resident
+/// memory" unit of the k-way merge.
+constexpr size_t kSegReadBufBytes = size_t{64} << 10;
+
+/// Sanity cap when parsing a record header back (a tuple is one node per
+/// pattern variable; anything near this is corruption).
+constexpr uint32_t kMaxTupleLen = 1u << 20;
+
+static_assert(sizeof(NodeId) == 4, "segment codec assumes 32-bit NodeId");
+
+void AppendRaw(std::string* out, const void* p, size_t n) {
+  out->append(static_cast<const char*>(p), n);
+}
+
+/// (ngd_index, nodes lexicographic) — exactly VioSet::Sorted()'s order.
+bool TupleLess(int32_t ai, const NodeId* an, uint32_t al, int32_t bi,
+               const NodeId* bn, uint32_t bl) {
+  if (ai != bi) return ai < bi;
+  return std::lexicographical_compare(an, an + al, bn, bn + bl);
+}
+
+}  // namespace
+
+// ---- Spill state (VioSet's pimpl) ----------------------------------------
+
+struct VioSpillState {
+  struct Segment {
+    std::string path;
+    uint64_t records = 0;
+    /// remaps[remap_from..) were recorded after this segment was written
+    /// and must be applied to its records at read time.
+    size_t remap_from = 0;
+  };
+
+  VioSpillOptions opts;
+  std::vector<Segment> segments;
+  uint64_t spilled_records = 0;
+  uint64_t next_segment_id = 0;
+  size_t peak_resident_bytes = 0;
+  /// Sticky: a failed flush stops further spill attempts (the records
+  /// stay resident, correct but over budget) and surfaces here.
+  bool flush_failed = false;
+  Status status;
+  /// RemapNgdIndices history (Σ-minimized runs remap once, at the end).
+  std::vector<std::vector<int>> remaps;
+};
+
+// ---- VioSet special members (here: VioSpillState is complete) ------------
+
+VioSet::VioSet() = default;
+VioSet::~VioSet() = default;
+VioSet::VioSet(VioSet&& other) noexcept = default;
+VioSet& VioSet::operator=(VioSet&& other) noexcept = default;
+
+VioSet::VioSet(const VioSet& other)
+    : recs_(other.recs_),
+      arena_(other.arena_),
+      table_(other.table_),
+      table_used_(other.table_used_),
+      indexed_(other.indexed_),
+      size_(other.size_) {
+  // Segment files are single-owner; a copy is always a plain resident set.
+  assert(other.AllResident() && "cannot copy a spilled VioSet");
+}
+
+VioSet& VioSet::operator=(const VioSet& other) {
+  assert(other.AllResident() && "cannot copy a spilled VioSet");
+  if (this == &other) return *this;
+  recs_ = other.recs_;
+  arena_ = other.arena_;
+  table_ = other.table_;
+  table_used_ = other.table_used_;
+  indexed_ = other.indexed_;
+  size_ = other.size_;
+  spill_.reset();
+  return *this;
+}
+
+// ---- Spill surface -------------------------------------------------------
+
+bool VioSet::AllResident() const {
+  return spill_ == nullptr || spill_->segments.empty();
+}
+
+void VioSet::EnableSpill(const VioSpillOptions& opts) {
+  assert(!opts.path_prefix.empty());
+  if (spill_ == nullptr) spill_ = std::make_unique<VioSpillState>();
+  spill_->opts = opts;
+  CheckSpill();  // honor the budget immediately when enabled late
+}
+
+size_t VioSet::spilled_records() const {
+  return spill_ == nullptr ? 0
+                           : static_cast<size_t>(spill_->spilled_records);
+}
+
+size_t VioSet::num_spill_segments() const {
+  return spill_ == nullptr ? 0 : spill_->segments.size();
+}
+
+size_t VioSet::peak_resident_bytes() const {
+  const size_t now = resident_bytes();
+  return spill_ == nullptr ? now
+                           : std::max(spill_->peak_resident_bytes, now);
+}
+
+Status VioSet::spill_status() const {
+  return spill_ == nullptr ? Status::OK() : spill_->status;
+}
+
+Status VioSet::FlushSpill() {
+  if (spill_ == nullptr) return Status::OK();
+  if (!spill_->flush_failed && !recs_.empty()) {
+    Status st = SpillResidentSegment();
+    if (!st.ok()) {
+      spill_->flush_failed = true;
+      spill_->status = st;
+    }
+  }
+  return spill_->status;
+}
+
+void VioSet::MaybeSpill() {
+  VioSpillState& s = *spill_;
+  const size_t bytes = resident_bytes();
+  if (bytes > s.peak_resident_bytes) s.peak_resident_bytes = bytes;
+  if (s.flush_failed) return;
+  const size_t trigger =
+      std::max(kMinSpillBytes, s.opts.budget_bytes > kSpillHeadroomBytes
+                                   ? s.opts.budget_bytes - kSpillHeadroomBytes
+                                   : s.opts.budget_bytes);
+  if (bytes < trigger) return;
+  Status st = SpillResidentSegment();
+  if (!st.ok()) {
+    s.flush_failed = true;
+    s.status = st;
+  }
+}
+
+Status VioSet::SpillResidentSegment() {
+  VioSpillState& s = *spill_;
+  // Each segment is one sorted run for the cursor's k-way merge.
+  std::vector<uint32_t> order;
+  order.reserve(recs_.size());
+  for (uint32_t i = 0; i < recs_.size(); ++i) {
+    if (!recs_[i].dead) order.push_back(i);
+  }
+  if (order.empty()) return Status::OK();
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    const Rec& ra = recs_[a];
+    const Rec& rb = recs_[b];
+    return TupleLess(ra.ngd_index, NodesOf(ra), ra.len, rb.ngd_index,
+                     NodesOf(rb), rb.len);
+  });
+
+  std::string blob;
+  blob.reserve(kSegHeaderBytes + recs_.size() * sizeof(Rec) +
+               arena_.size() * sizeof(NodeId));
+  blob.append(kSegMagic, sizeof(kSegMagic));
+  const uint32_t version = kSegVersion;
+  const uint32_t flags = 0;
+  AppendRaw(&blob, &version, sizeof(version));
+  AppendRaw(&blob, &flags, sizeof(flags));
+  const uint64_t count = order.size();
+  AppendRaw(&blob, &count, sizeof(count));
+  // payload_bytes / payload_fnv / header_fnv are back-patched below.
+  const size_t patch_at = blob.size();
+  blob.resize(kSegHeaderBytes);
+  for (uint32_t i : order) {
+    const Rec& r = recs_[i];
+    AppendRaw(&blob, &r.ngd_index, sizeof(int32_t));
+    const uint32_t len = r.len;
+    AppendRaw(&blob, &len, sizeof(len));
+    AppendRaw(&blob, NodesOf(r), size_t{len} * sizeof(NodeId));
+  }
+  const uint64_t payload_bytes = blob.size() - kSegHeaderBytes;
+  const uint64_t payload_fnv =
+      Fnv1a64(blob.data() + kSegHeaderBytes, payload_bytes);
+  std::memcpy(&blob[patch_at], &payload_bytes, sizeof(payload_bytes));
+  std::memcpy(&blob[patch_at + 8], &payload_fnv, sizeof(payload_fnv));
+  const uint64_t header_fnv = Fnv1a64(blob.data(), kSegHeaderBytes - 8);
+  std::memcpy(&blob[patch_at + 16], &header_fnv, sizeof(header_fnv));
+
+  std::string path = s.opts.path_prefix + ".seg" +
+                     std::to_string(s.next_segment_id) + ".ngdvio";
+  NGD_RETURN_IF_ERROR(WriteFileAtomic(path, blob, "vioseg_write"));
+  ++s.next_segment_id;
+  s.segments.push_back(
+      VioSpillState::Segment{std::move(path), count, s.remaps.size()});
+  s.spilled_records += count;
+
+  // Release the resident storage outright (capacity included — the
+  // budget is about memory, not vector size). size_ keeps counting the
+  // spilled records.
+  recs_.clear();
+  recs_.shrink_to_fit();
+  arena_.clear();
+  arena_.shrink_to_fit();
+  table_.clear();
+  table_.shrink_to_fit();
+  table_used_ = 0;
+  indexed_ = 0;
+  return Status::OK();
+}
+
+void VioSet::AdoptSpillFrom(VioSet&& other) {
+  if (spill_ == nullptr) {
+    // Take the whole state (budget and prefix included); `other`'s
+    // resident records stay behind for the caller to merge.
+    spill_ = std::move(other.spill_);
+    return;
+  }
+  VioSpillState& ours = *spill_;
+  VioSpillState& theirs = *other.spill_;
+  // Engines merge worker-local results before any Σ-remap runs, so the
+  // per-segment remap_from offsets stay valid across the adoption.
+  assert(ours.remaps.empty() && theirs.remaps.empty());
+  for (auto& seg : theirs.segments) ours.segments.push_back(std::move(seg));
+  theirs.segments.clear();
+  ours.spilled_records += theirs.spilled_records;
+  ours.peak_resident_bytes =
+      std::max(ours.peak_resident_bytes, theirs.peak_resident_bytes);
+  if (theirs.flush_failed && !ours.flush_failed) {
+    ours.flush_failed = true;
+    ours.status = theirs.status;
+  }
+}
+
+void VioSet::ComposeSpillRemap(const std::vector<int>& kept) {
+  // Segments written after this call hold already-remapped indices and
+  // record remap_from past this entry, so they skip it at read time.
+  spill_->remaps.push_back(kept);
+}
+
+// ---- Cursor --------------------------------------------------------------
+
+struct VioCursorImpl {
+  /// One sorted source: a segment file stream with its current record.
+  struct SegSource {
+    std::ifstream in;
+    std::vector<char> iobuf;  ///< stream buffer backing (bounded memory)
+    uint64_t remaining = 0;
+    size_t remap_from = 0;
+    bool done = false;
+    int32_t ngd_index = -1;  ///< current record, remap already applied
+    std::vector<NodeId> nodes;
+  };
+
+  const VioSet* set = nullptr;
+  std::vector<std::unique_ptr<SegSource>> segs;
+  std::vector<uint32_t> resident_order;  ///< live resident recs, sorted
+  size_t resident_pos = 0;
+  const std::vector<std::vector<int>>* remaps = nullptr;
+  uint64_t total = 0;
+  uint64_t position = 0;
+  Status status;
+
+  Status AdvanceSeg(SegSource* s) {
+    if (s->remaining == 0) {
+      s->done = true;
+      return Status::OK();
+    }
+    int32_t ngd = 0;
+    uint32_t len = 0;
+    s->in.read(reinterpret_cast<char*>(&ngd), sizeof(ngd));
+    s->in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!s->in || len > kMaxTupleLen) {
+      return Status::Corruption("violation segment: truncated record");
+    }
+    s->nodes.resize(len);
+    s->in.read(reinterpret_cast<char*>(s->nodes.data()),
+               std::streamsize{len} * sizeof(NodeId));
+    if (!s->in) {
+      return Status::Corruption("violation segment: truncated tuple");
+    }
+    if (remaps != nullptr) {
+      for (size_t ri = s->remap_from; ri < remaps->size(); ++ri) {
+        const std::vector<int>& map = (*remaps)[ri];
+        assert(ngd >= 0 && static_cast<size_t>(ngd) < map.size());
+        ngd = map[static_cast<size_t>(ngd)];
+      }
+    }
+    s->ngd_index = ngd;
+    --s->remaining;
+    return Status::OK();
+  }
+
+  bool Next(Violation* out) {
+    if (!status.ok()) return false;
+    // Loop-min over the live sources: segment count is small (segments
+    // are at least budget-sized), so a heap buys nothing here.
+    SegSource* best = nullptr;
+    for (auto& sp : segs) {
+      SegSource* s = sp.get();
+      if (s->done) continue;
+      if (best == nullptr ||
+          TupleLess(s->ngd_index, s->nodes.data(),
+                    static_cast<uint32_t>(s->nodes.size()), best->ngd_index,
+                    best->nodes.data(),
+                    static_cast<uint32_t>(best->nodes.size()))) {
+        best = s;
+      }
+    }
+    bool take_resident = false;
+    if (resident_pos < resident_order.size()) {
+      const VioSet::Rec& r = set->recs_[resident_order[resident_pos]];
+      if (best == nullptr ||
+          TupleLess(r.ngd_index, set->NodesOf(r), r.len, best->ngd_index,
+                    best->nodes.data(),
+                    static_cast<uint32_t>(best->nodes.size()))) {
+        take_resident = true;
+      }
+    }
+    if (take_resident) {
+      const VioSet::Rec& r = set->recs_[resident_order[resident_pos]];
+      out->ngd_index = r.ngd_index;
+      const NodeId* p = set->NodesOf(r);
+      out->nodes.assign(p, p + r.len);
+      ++resident_pos;
+      ++position;
+      return true;
+    }
+    if (best == nullptr) return false;  // drained
+    out->ngd_index = best->ngd_index;
+    out->nodes.assign(best->nodes.begin(), best->nodes.end());
+    Status st = AdvanceSeg(best);
+    if (!st.ok()) {
+      status = st;
+      return false;
+    }
+    ++position;
+    return true;
+  }
+};
+
+namespace {
+
+/// Opens a segment, validates magic/version/checksums with one streamed
+/// pass (bounded memory), and leaves the stream positioned at the first
+/// record.
+Status OpenSegSource(const VioSpillState::Segment& seg,
+                     VioCursorImpl::SegSource* s) {
+  s->iobuf.resize(kSegReadBufBytes);
+  s->in.rdbuf()->pubsetbuf(s->iobuf.data(),
+                           static_cast<std::streamsize>(s->iobuf.size()));
+  s->in.open(seg.path, std::ios::binary);
+  if (!s->in.is_open()) {
+    return Status::NotFound("violation segment missing: " + seg.path);
+  }
+  char header[kSegHeaderBytes];
+  s->in.read(header, sizeof(header));
+  if (!s->in || std::memcmp(header, kSegMagic, sizeof(kSegMagic)) != 0) {
+    return Status::Corruption("violation segment: bad magic: " + seg.path);
+  }
+  uint32_t version = 0;
+  uint64_t count = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t payload_fnv = 0;
+  uint64_t header_fnv = 0;
+  std::memcpy(&version, header + 8, sizeof(version));
+  std::memcpy(&count, header + 16, sizeof(count));
+  std::memcpy(&payload_bytes, header + 24, sizeof(payload_bytes));
+  std::memcpy(&payload_fnv, header + 32, sizeof(payload_fnv));
+  std::memcpy(&header_fnv, header + 40, sizeof(header_fnv));
+  if (version != kSegVersion) {
+    return Status::Corruption("violation segment: unsupported version");
+  }
+  if (Fnv1a64(header, kSegHeaderBytes - 8) != header_fnv) {
+    return Status::Corruption("violation segment: header checksum mismatch");
+  }
+  if (count != seg.records) {
+    return Status::Corruption("violation segment: record count mismatch");
+  }
+  // Streamed checksum pass: fail before the merge emits a single record,
+  // without ever holding the payload in memory.
+  uint64_t fnv = kFnv1aOffset;
+  uint64_t seen = 0;
+  std::vector<char> chunk(kSegReadBufBytes);
+  while (seen < payload_bytes) {
+    const uint64_t want =
+        std::min<uint64_t>(chunk.size(), payload_bytes - seen);
+    s->in.read(chunk.data(), static_cast<std::streamsize>(want));
+    if (s->in.gcount() != static_cast<std::streamsize>(want)) {
+      return Status::Corruption("violation segment: truncated payload");
+    }
+    fnv = Fnv1a64(chunk.data(), static_cast<size_t>(want), fnv);
+    seen += want;
+  }
+  if (s->in.peek() != std::char_traits<char>::eof()) {
+    return Status::Corruption("violation segment: trailing bytes");
+  }
+  if (fnv != payload_fnv) {
+    return Status::Corruption("violation segment: payload checksum mismatch");
+  }
+  s->in.clear();
+  s->in.seekg(kSegHeaderBytes, std::ios::beg);
+  if (!s->in) {
+    return Status::Internal("violation segment: seek failed");
+  }
+  s->remaining = count;
+  s->remap_from = seg.remap_from;
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<VioCursor> VioSet::OpenCursor(uint64_t start_offset) const {
+  auto impl = std::make_unique<VioCursorImpl>();
+  impl->set = this;
+  impl->total = size_;
+  if (spill_ != nullptr) {
+    impl->remaps = &spill_->remaps;
+    impl->segs.reserve(spill_->segments.size());
+    for (const auto& seg : spill_->segments) {
+      auto src = std::make_unique<VioCursorImpl::SegSource>();
+      NGD_RETURN_IF_ERROR(OpenSegSource(seg, src.get()));
+      NGD_RETURN_IF_ERROR(impl->AdvanceSeg(src.get()));  // prime
+      impl->segs.push_back(std::move(src));
+    }
+  }
+  impl->resident_order.reserve(recs_.size());
+  for (uint32_t i = 0; i < recs_.size(); ++i) {
+    if (!recs_[i].dead) impl->resident_order.push_back(i);
+  }
+  std::sort(impl->resident_order.begin(), impl->resident_order.end(),
+            [this](uint32_t a, uint32_t b) {
+              const Rec& ra = recs_[a];
+              const Rec& rb = recs_[b];
+              return TupleLess(ra.ngd_index, NodesOf(ra), ra.len,
+                               rb.ngd_index, NodesOf(rb), rb.len);
+            });
+  // Resume: linear skip (segments interleave arbitrarily, so there is no
+  // per-segment shortcut; a skip is one sequential read, no allocation
+  // churn past the reused tuple buffer).
+  Violation scratch;
+  for (uint64_t i = 0; i < start_offset; ++i) {
+    if (!impl->Next(&scratch)) break;
+  }
+  if (!impl->status.ok()) return impl->status;
+  return VioCursor(std::move(impl));
+}
+
+VioCursor::VioCursor(std::unique_ptr<VioCursorImpl> impl)
+    : impl_(std::move(impl)) {}
+VioCursor::VioCursor(VioCursor&&) noexcept = default;
+VioCursor& VioCursor::operator=(VioCursor&&) noexcept = default;
+VioCursor::~VioCursor() = default;
+
+bool VioCursor::Next(Violation* out) { return impl_->Next(out); }
+const Status& VioCursor::status() const { return impl_->status; }
+uint64_t VioCursor::position() const { return impl_->position; }
+uint64_t VioCursor::total() const { return impl_->total; }
+
+// ---- VioSink -------------------------------------------------------------
+
+VioSink::VioSink(VioSpillOptions opts) { set_.EnableSpill(opts); }
+
+Status VioSink::Finish() { return set_.FlushSpill(); }
+
+StatusOr<VioCursor> VioSink::OpenCursor(uint64_t offset) const {
+  return set_.OpenCursor(offset);
+}
+
+StatusOr<uint64_t> VioSink::ReadPage(uint64_t offset, size_t max_records,
+                                     std::vector<Violation>* out) const {
+  NGD_ASSIGN_OR_RETURN(VioCursor cursor, set_.OpenCursor(offset));
+  Violation v;
+  for (size_t i = 0; i < max_records && cursor.Next(&v); ++i) {
+    out->push_back(v);
+  }
+  NGD_RETURN_IF_ERROR(cursor.status());
+  return cursor.position();
+}
+
+}  // namespace ngd

@@ -88,6 +88,8 @@ void VioSet::EnsureIndex() {
 }
 
 bool VioSet::AddTuple(int ngd_index, const NodeId* nodes, size_t len) {
+  assert(AllResident() &&
+         "checked ops see only the resident tail of a spilled VioSet");
   EnsureIndex();
   if (table_used_ * 2 >= table_.size()) GrowTable(size_ + 1);
   const size_t slot =
@@ -120,6 +122,7 @@ void VioSet::AppendUnchecked(int ngd_index, const NodeId* nodes, size_t len) {
   }
   recs_.push_back(r);
   ++size_;
+  CheckSpill();
 }
 
 void VioSet::AppendBlockUnchecked(int ngd_index, size_t tuple_len,
@@ -143,6 +146,8 @@ void VioSet::AppendBlockUnchecked(int ngd_index, size_t tuple_len,
 }
 
 bool VioSet::Contains(const Violation& v) const {
+  assert(AllResident() &&
+         "checked ops see only the resident tail of a spilled VioSet");
   if (size_ == 0) return false;
   // Logically const: building the index changes no observable state (the
   // catch-up repair only collapses duplicates a checked insert would
@@ -156,7 +161,9 @@ bool VioSet::Contains(const Violation& v) const {
 }
 
 void VioSet::Merge(VioSet&& other) {
-  if (recs_.empty()) {
+  assert(AllResident() && other.AllResident() &&
+         "checked ops see only the resident tail of a spilled VioSet");
+  if (recs_.empty() && spill_ == nullptr) {
     *this = std::move(other);
     return;
   }
@@ -169,10 +176,13 @@ void VioSet::Merge(VioSet&& other) {
 }
 
 void VioSet::MergeDisjointUnchecked(VioSet&& other) {
-  if (recs_.empty()) {
+  if (recs_.empty() && spill_ == nullptr) {
     *this = std::move(other);
     return;
   }
+  // Segment files (and a sticky flush error) transfer wholesale; the
+  // cursor's k-way merge does not care which set wrote which segment.
+  if (other.spill_ != nullptr) AdoptSpillFrom(std::move(other));
   const uint32_t base = static_cast<uint32_t>(arena_.size());
   arena_.insert(arena_.end(), other.arena_.begin(), other.arena_.end());
   recs_.reserve(recs_.size() + other.recs_.size());
@@ -186,9 +196,12 @@ void VioSet::MergeDisjointUnchecked(VioSet&& other) {
   // Appended records sit beyond indexed_; the next indexed operation
   // catches them up in one pass (and would repair any overlap, though
   // disjointness is the caller's contract).
+  CheckSpill();
 }
 
 void VioSet::Remove(const VioSet& other) {
+  assert(AllResident() && other.AllResident() &&
+         "checked ops see only the resident tail of a spilled VioSet");
   if (size_ == 0 || other.size_ == 0) return;
   EnsureIndex();
   for (size_t i = 0; i < other.recs_.size(); ++i) {
@@ -214,9 +227,14 @@ void VioSet::RemapNgdIndices(const std::vector<int>& kept) {
   table_.clear();
   table_used_ = 0;
   indexed_ = 0;
+  // Spilled segments keep their raw indices on disk; the cursor applies
+  // the (strictly increasing, hence order-preserving) map at read time.
+  if (spill_ != nullptr) ComposeSpillRemap(kept);
 }
 
 std::vector<Violation> VioSet::Sorted() const {
+  assert(AllResident() &&
+         "Sorted() sees only the resident tail; use OpenCursor()");
   std::vector<Violation> out;
   out.reserve(size_);
   for (size_t i = 0; i < recs_.size(); ++i) {

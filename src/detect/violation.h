@@ -31,17 +31,35 @@
 #ifndef NGD_DETECT_VIOLATION_H_
 #define NGD_DETECT_VIOLATION_H_
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/ngd.h"
 #include "graph/graph.h"
 #include "util/hash.h"
+#include "util/status.h"
 
 namespace ngd {
+
+class VioCursor;
+struct VioSpillState;
+
+/// Spill-to-disk configuration for a VioSet (detect/vio_stream.{h,cc}).
+/// Once enabled, resident records are sorted and flushed into checksummed
+/// segment files ("<path_prefix>.seg<N>.ngdvio") whenever the resident
+/// footprint approaches `budget_bytes`; VioSet::OpenCursor merges the
+/// segments and the resident tail back into one globally sorted stream.
+struct VioSpillOptions {
+  std::string path_prefix;
+  /// 64 MiB default. Budgets at or below one page still spill, floored at
+  /// page-sized segments (vio_stream.cc's kMinSpillBytes).
+  size_t budget_bytes = size_t{64} << 20;
+};
 
 struct Violation {
   int ngd_index = -1;
@@ -70,7 +88,17 @@ struct ViolationHash {
 
 class VioSet {
  public:
-  VioSet() = default;
+  // Out-of-line: spill_ is a pimpl (vio_stream.cc owns the definition),
+  // so every special member — even the default ctor, whose unwind path
+  // destroys spill_ — needs the complete type.
+  VioSet();
+  ~VioSet();
+  VioSet(VioSet&& other) noexcept;
+  VioSet& operator=(VioSet&& other) noexcept;
+  /// Copying is allowed only while nothing has spilled (segment files are
+  /// single-owner); asserted in debug builds.
+  VioSet(const VioSet& other);
+  VioSet& operator=(const VioSet& other);
 
   /// Checked insert (set semantics). Returns true if newly added.
   bool Add(const Violation& v) {
@@ -152,8 +180,12 @@ class VioSet {
       ++*this;
       return tmp;
     }
-    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
-    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    // Both fields: iterators over *different* sets must never compare
+    // equal just because their indices coincide.
+    bool operator==(const const_iterator& o) const {
+      return set_ == o.set_ && i_ == o.i_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
 
    private:
     const VioSet* set_ = nullptr;
@@ -177,9 +209,50 @@ class VioSet {
     if (spill_nodes > 0) arena_.reserve(arena_.size() + spill_nodes);
   }
 
+  // ---- Spill-to-disk backend (detect/vio_stream.{h,cc}) --------------
+  //
+  // A spill-enabled set trades the resident guarantee for a byte budget:
+  // the unchecked append paths (the only emission paths the engines use)
+  // flush sorted, checksummed segments through WriteFileAtomic once the
+  // resident footprint nears budget_bytes, and OpenCursor streams the
+  // union back in Sorted() order with bounded resident memory. Once a
+  // record has spilled, the checked/set-semantics surface (Add, Contains,
+  // Merge, Remove) and Sorted()/items() see only the resident tail and
+  // are disallowed (asserted in debug builds); size() stays total.
+  // A failed flush is sticky in spill_status() and degrades the set to
+  // resident-over-budget — no appended record is ever silently lost.
+
+  void EnableSpill(const VioSpillOptions& opts);
+  bool spill_enabled() const { return spill_ != nullptr; }
+  /// Records flushed to segment files so far (0 until the budget trips).
+  size_t spilled_records() const;
+  size_t num_spill_segments() const;
+  /// High-water mark of resident_bytes() observed by the spill checks.
+  size_t peak_resident_bytes() const;
+  /// First flush error, sticky (OK while everything has worked).
+  Status spill_status() const;
+  /// Forces the resident tail into a final segment (e.g. before handing
+  /// the segment files to another process). Not required for OpenCursor.
+  Status FlushSpill();
+
+  /// Bytes held by the resident record/arena/index storage.
+  size_t resident_bytes() const {
+    return recs_.size() * sizeof(Rec) + arena_.size() * sizeof(NodeId) +
+           table_.size() * sizeof(uint32_t);
+  }
+
+  /// Opens a pull cursor over the full set — spilled segments and the
+  /// resident tail — in exactly Sorted() order (the stable paging order:
+  /// ngd_index, then nodes lexicographically). `start_offset` resumes a
+  /// prior stream at that record index (linear skip). The set must
+  /// outlive the cursor and must not be mutated while it is open. Fails
+  /// with kCorruption when a segment file fails its checksum.
+  StatusOr<VioCursor> OpenCursor(uint64_t start_offset = 0) const;
+
  private:
   friend struct ItemsView;
   friend class const_iterator;
+  friend struct VioCursorImpl;
 
   /// Tuples up to this length are stored inside the record; longer ones
   /// spill into arena_. sizeof(Rec) stays at 24 bytes either way.
@@ -242,12 +315,37 @@ class VioSet {
   void EnsureIndex();
   void GrowTable(size_t min_live);
 
+  /// True while the checked/whole-set surface still sees every record
+  /// (nothing has been flushed to disk).
+  bool AllResident() const;
+
+  /// Spill trigger, called from the append paths. Out of line so the
+  /// non-spilling hot path pays only the null check in CheckSpill().
+  void MaybeSpill();
+  void CheckSpill() {
+    if (spill_ != nullptr) MaybeSpill();
+  }
+
+  /// Sorts the resident live records and flushes them as one segment.
+  Status SpillResidentSegment();
+
+  /// MergeDisjointUnchecked's spill half: takes over `other`'s segment
+  /// files and sticky status before the resident records are merged
+  /// (`other`'s resident storage is left intact for the caller).
+  void AdoptSpillFrom(VioSet&& other);
+
+  /// Records a RemapNgdIndices map for already-written segments; the
+  /// cursor applies it at read time (order-preserving: `kept` is
+  /// strictly increasing).
+  void ComposeSpillRemap(const std::vector<int>& kept);
+
   std::vector<Rec> recs_;
   std::vector<NodeId> arena_;    ///< spill storage for long tuples
   std::vector<uint32_t> table_;  ///< open addressing: record indices
   size_t table_used_ = 0;        ///< occupied table slots (live + dead recs)
   size_t indexed_ = 0;           ///< recs_[0, indexed_) are in table_
   size_t size_ = 0;              ///< live records
+  std::unique_ptr<VioSpillState> spill_;  ///< null = plain resident set
 };
 
 /// ΔVio = (ΔVio+, ΔVio-): violations introduced / removed by ΔG.
@@ -287,6 +385,8 @@ class VioEmitter {
   /// Appends h(x̄) (must have exactly tuple_len nodes). Returns false
   /// when the emission limit is reached.
   bool Emit(const Binding& binding) {
+    assert(binding.size() == tuple_len_ &&
+           "VioEmitter: binding length must match the rule's tuple_len");
     buf_.insert(buf_.end(), binding.begin(), binding.end());
     if (buf_.size() >= tuple_len_ * kFlushTuples) Flush();
     ++emitted_;

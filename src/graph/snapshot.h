@@ -70,6 +70,10 @@ class GraphSnapshot {
   size_t NumEdges() const { return out_.nbr.size(); }
 
   LabelId NodeLabel(NodeId v) const { return node_labels_[v]; }
+  /// Flat per-node label array (NumNodes() entries, indexed by NodeId) —
+  /// the raw form the match expander's block candidate filter gathers
+  /// from (match/homomorphism.cc).
+  const LabelId* node_labels_data() const { return node_labels_.data(); }
 
   /// nullptr when the node does not carry the attribute (paper §3
   /// condition (a)); same contract as Graph::GetAttr.

@@ -1,5 +1,6 @@
 #include "match/homomorphism.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 
@@ -79,56 +80,98 @@ bool Expand(const SearchConfig& cfg, const GraphAccessor& g,
   const NodeId anchor = (*binding)[chosen.anchor_node];
   const LabelId want_label = pattern.node(step.node).label;
 
+  // Everything past the label test for one label-matching candidate:
+  // scope/filter admission, closure-edge verification, literal pruning,
+  // and the recursive descent. Returns false to abort the whole scan.
+  auto visit = [&](NodeId cand) {
+    if (cfg.node_scope != nullptr && !cfg.node_scope->Contains(cand)) {
+      return true;
+    }
+    if (cfg.edge_filter != nullptr) {
+      const NodeId src = chosen.anchor_out ? anchor : cand;
+      const NodeId dst = chosen.anchor_out ? cand : anchor;
+      if (!cfg.edge_filter->Admit(chosen.edge, src, dst, anchor_label)) {
+        return true;
+      }
+    }
+    // Verify the remaining pattern edges into the matched prefix.
+    auto edge_holds = [&](int ce) {
+      const PatternEdge& pe = pattern.edge(ce);
+      const NodeId s = pe.src == step.node ? cand : (*binding)[pe.src];
+      const NodeId d = pe.dst == step.node ? cand : (*binding)[pe.dst];
+      return g.HasEdge(s, d, pe.label) &&
+             (cfg.edge_filter == nullptr ||
+              cfg.edge_filter->Admit(ce, s, d, pe.label));
+    };
+    bool ok = true;
+    for (int ce : step.check_edges) {
+      if (ce == chosen.edge) continue;  // promoted to anchor this step
+      if (!edge_holds(ce)) {
+        ok = false;
+        break;
+      }
+    }
+    // A non-default anchor choice demotes the default anchor edge to
+    // a closure check.
+    if (ok && chosen_idx != 0 && !edge_holds(step.anchor_edge)) {
+      ok = false;
+    }
+    if (!ok) return true;
+
+    (*binding)[step.node] = cand;
+    LiteralState child = ls;
+    StepOutcome out = EvalReadyLiterals(cfg, g, step.ready_x,
+                                        step.ready_y, *binding, &child);
+    bool keep_going = true;
+    if (out == StepOutcome::kContinue) {
+      keep_going =
+          Expand(cfg, g, plan, step_idx + 1, binding, child, callback);
+    }
+    (*binding)[step.node] = kInvalidNode;
+    return keep_going;
+  };
+
+  // Snapshot fast path: the candidate label filter over a contiguous CSR
+  // label range is a gather + compare against the flat node-label array,
+  // so run it block-compacted — branch-free `m += (label == want)` keeps
+  // the filter auto-vectorizable and the survivors (usually a small
+  // minority on selective labels) get the expensive per-candidate body
+  // from a dense stack buffer. Scope/filter configs and wildcard labels
+  // fall through to the generic scan, which needs per-candidate calls
+  // anyway.
+  if (g.is_snapshot() && cfg.edge_filter == nullptr &&
+      cfg.node_scope == nullptr && want_label != kWildcardLabel) {
+    const GraphSnapshot& snap = *g.snapshot();
+    const GraphSnapshot::IdRange r =
+        chosen.anchor_out ? snap.OutNeighbors(anchor, anchor_label)
+                          : snap.InNeighbors(anchor, anchor_label);
+    const LabelId* labels = snap.node_labels_data();
+    constexpr size_t kBlock = 256;
+    NodeId cands[kBlock];
+    for (size_t base = 0; base < r.size(); base += kBlock) {
+      // Bounded response even on a hub anchor's long adjacency scan:
+      // one cancellation poll per block.
+      if (cfg.cancel != nullptr && cfg.cancel->ShouldStop()) return false;
+      const size_t n = std::min(kBlock, r.size() - base);
+      size_t m = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const NodeId w = r.ptr[base + i];
+        cands[m] = w;
+        m += static_cast<size_t>(labels[w] == want_label);
+      }
+      for (size_t i = 0; i < m; ++i) {
+        if (!visit(cands[i])) return false;
+      }
+    }
+    return true;
+  }
+
   return g.ForEachNeighbor(
       anchor, chosen.anchor_out, anchor_label, [&](NodeId cand) {
         // Bounded response even on a hub anchor's long adjacency scan.
         if (cfg.cancel != nullptr && cfg.cancel->ShouldStop()) return false;
         if (!g.NodeMatchesLabel(cand, want_label)) return true;
-        if (cfg.node_scope != nullptr && !cfg.node_scope->Contains(cand)) {
-          return true;
-        }
-        if (cfg.edge_filter != nullptr) {
-          const NodeId src = chosen.anchor_out ? anchor : cand;
-          const NodeId dst = chosen.anchor_out ? cand : anchor;
-          if (!cfg.edge_filter->Admit(chosen.edge, src, dst, anchor_label)) {
-            return true;
-          }
-        }
-        // Verify the remaining pattern edges into the matched prefix.
-        auto edge_holds = [&](int ce) {
-          const PatternEdge& pe = pattern.edge(ce);
-          const NodeId s = pe.src == step.node ? cand : (*binding)[pe.src];
-          const NodeId d = pe.dst == step.node ? cand : (*binding)[pe.dst];
-          return g.HasEdge(s, d, pe.label) &&
-                 (cfg.edge_filter == nullptr ||
-                  cfg.edge_filter->Admit(ce, s, d, pe.label));
-        };
-        bool ok = true;
-        for (int ce : step.check_edges) {
-          if (ce == chosen.edge) continue;  // promoted to anchor this step
-          if (!edge_holds(ce)) {
-            ok = false;
-            break;
-          }
-        }
-        // A non-default anchor choice demotes the default anchor edge to
-        // a closure check.
-        if (ok && chosen_idx != 0 && !edge_holds(step.anchor_edge)) {
-          ok = false;
-        }
-        if (!ok) return true;
-
-        (*binding)[step.node] = cand;
-        LiteralState child = ls;
-        StepOutcome out = EvalReadyLiterals(cfg, g, step.ready_x,
-                                            step.ready_y, *binding, &child);
-        bool keep_going = true;
-        if (out == StepOutcome::kContinue) {
-          keep_going =
-              Expand(cfg, g, plan, step_idx + 1, binding, child, callback);
-        }
-        (*binding)[step.node] = kInvalidNode;
-        return keep_going;
+        return visit(cand);
       });
 }
 

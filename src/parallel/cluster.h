@@ -30,6 +30,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -49,6 +50,8 @@ struct ClusterMetrics {
   std::atomic<uint64_t> forwards{0};        ///< units shipped to their owner
   std::atomic<uint64_t> steals{0};          ///< units taken by idle workers
   std::atomic<uint64_t> balance_moves{0};   ///< units moved by balancer
+  std::atomic<uint64_t> peak_queue_depth{0};///< deepest queue ever observed
+  std::atomic<uint64_t> inline_runs{0};     ///< spawns run inline (backpressure)
 };
 
 /// Plain-value copy of ClusterMetrics for results and JSON emission.
@@ -60,6 +63,8 @@ struct ClusterMetricsSnapshot {
   uint64_t forwards = 0;
   uint64_t steals = 0;
   uint64_t balance_moves = 0;
+  uint64_t peak_queue_depth = 0;
+  uint64_t inline_runs = 0;
 };
 
 inline ClusterMetricsSnapshot SnapshotOf(const ClusterMetrics& m) {
@@ -71,6 +76,8 @@ inline ClusterMetricsSnapshot SnapshotOf(const ClusterMetrics& m) {
   s.forwards = m.forwards.load(std::memory_order_relaxed);
   s.steals = m.steals.load(std::memory_order_relaxed);
   s.balance_moves = m.balance_moves.load(std::memory_order_relaxed);
+  s.peak_queue_depth = m.peak_queue_depth.load(std::memory_order_relaxed);
+  s.inline_runs = m.inline_runs.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -80,14 +87,17 @@ inline ClusterMetricsSnapshot SnapshotOf(const ClusterMetrics& m) {
 template <typename T>
 class WorkQueue {
  public:
-  void Push(T unit) {
+  /// Returns the queue depth after the push (the backpressure signal).
+  size_t Push(T unit) {
     std::lock_guard<std::mutex> lock(mu_);
     items_.push_back(std::move(unit));
+    return items_.size();
   }
 
-  void PushMany(std::vector<T>&& units) {
+  size_t PushMany(std::vector<T>&& units) {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& u : units) items_.push_back(std::move(u));
+    return items_.size();
   }
 
   bool TryPopBack(T* out) {
@@ -129,24 +139,57 @@ class WorkQueue {
 template <typename T>
 class WorkStealingPool {
  public:
-  WorkStealingPool(int p, ClusterMetrics* metrics, bool enable_steal)
-      : queues_(p), metrics_(metrics), enable_steal_(enable_steal) {}
+  /// `max_queue_depth` bounds queue state with producer backpressure:
+  /// once a target queue holds that many units, a mid-run Spawn/Forward
+  /// executes its unit inline on the calling worker instead of
+  /// enqueueing it (0 = unbounded). The bound is soft by at most one
+  /// concurrent producer per queue (the size check and the push are not
+  /// one atomic step — peak_queue_depth records the honest high-water
+  /// mark). Without it, a starved consumer (e.g. p threads on one core)
+  /// lets splits/steals accumulate unbounded queue state.
+  WorkStealingPool(int p, ClusterMetrics* metrics, bool enable_steal,
+                   size_t max_queue_depth = 0)
+      : queues_(p),
+        metrics_(metrics),
+        enable_steal_(enable_steal),
+        max_queue_depth_(max_queue_depth) {}
 
   int num_queues() const { return static_cast<int>(queues_.size()); }
 
   /// Initial placement of a unit on fragment `target`'s queue (no
-  /// message: seeds are born where their data lives).
+  /// message: seeds are born where their data lives). Exempt from the
+  /// depth bound — before Run there is no consumer to starve and no
+  /// worker to run inline on; the seed volume itself bounds the queues.
   void Seed(int target, T unit) {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
-    queues_[target].Push(std::move(unit));
+    NotePeak(queues_[target].Push(std::move(unit)));
+  }
+
+  /// Mid-run spawn of a unit onto `target`'s queue, subject to the depth
+  /// bound: a saturated target pushes back and the unit runs inline on
+  /// the calling worker instead. Correct for the same reason stealing
+  /// is: any worker may process any unit (a unit carries its home
+  /// fragment).
+  void Spawn(int calling_worker, int target, T unit) {
+    if (ShouldInline(target)) {
+      RunInline(calling_worker, unit);
+      return;
+    }
+    Seed(target, std::move(unit));
   }
 
   /// Child unit spawned onto the processing worker's own queue.
-  void SpawnLocal(int worker, T unit) { Seed(worker, std::move(unit)); }
+  void SpawnLocal(int worker, T unit) { Spawn(worker, worker, std::move(unit)); }
 
   /// Ships a unit to another fragment's queue: one simulated message
-  /// carrying the partial match.
-  void Forward(int target, T unit) {
+  /// carrying the partial match. A saturated target pushes back like
+  /// Spawn — the unit runs inline on the calling worker (reading the
+  /// target fragment the way a thief would), with no message charged.
+  void Forward(int calling_worker, int target, T unit) {
+    if (ShouldInline(target)) {
+      RunInline(calling_worker, unit);
+      return;
+    }
     metrics_->forwards.fetch_add(1, std::memory_order_relaxed);
     metrics_->messages.fetch_add(1, std::memory_order_relaxed);
     Seed(target, std::move(unit));
@@ -164,7 +207,7 @@ class WorkStealingPool {
     return queues_[from].HarvestFront(max_units);
   }
   void PushMany(int to, std::vector<T>&& units) {
-    queues_[to].PushMany(std::move(units));
+    NotePeak(queues_[to].PushMany(std::move(units)));
   }
 
   /// Runs `process(worker, unit)` on p workers until every unit (and
@@ -178,6 +221,11 @@ class WorkStealingPool {
   void Run(ProcessFn&& process, TickFn&& tick,
            const CancelToken* cancel = nullptr) {
     done_.store(false, std::memory_order_release);
+    // Stored so backpressured Spawn/Forward can execute units inline on
+    // the producing worker. The process fn must tolerate re-entry (a unit
+    // spawning a unit that runs inline) — recursion depth is bounded by
+    // the expansion plan's depth.
+    process_ = [&process](int worker, T& unit) { process(worker, unit); };
     std::vector<std::thread> workers;
     workers.reserve(queues_.size());
     for (int i = 0; i < num_queues(); ++i) {
@@ -190,9 +238,32 @@ class WorkStealingPool {
     }
     done_.store(true, std::memory_order_release);
     for (auto& w : workers) w.join();
+    process_ = nullptr;
   }
 
  private:
+  bool ShouldInline(int target) const {
+    return max_queue_depth_ > 0 && process_ != nullptr &&
+           queues_[target].size() >= max_queue_depth_;
+  }
+
+  /// Executes a pushed-back unit on the calling worker's thread, outside
+  /// any queue: no in_flight_ bump (it was never enqueued), no message
+  /// (nothing crossed a queue boundary). The process fn does its own
+  /// cancel check and work_units accounting, same as the queued path.
+  void RunInline(int calling_worker, T& unit) {
+    metrics_->inline_runs.fetch_add(1, std::memory_order_relaxed);
+    process_(calling_worker, unit);
+  }
+
+  void NotePeak(size_t depth) {
+    uint64_t prev = metrics_->peak_queue_depth.load(std::memory_order_relaxed);
+    while (prev < depth &&
+           !metrics_->peak_queue_depth.compare_exchange_weak(
+               prev, depth, std::memory_order_relaxed)) {
+    }
+  }
+
   template <typename ProcessFn>
   void WorkerLoop(int worker, ProcessFn& process, const CancelToken* cancel) {
     while (true) {
@@ -229,13 +300,15 @@ class WorkStealingPool {
     if (moved.empty()) return false;
     metrics_->steals.fetch_add(moved.size(), std::memory_order_relaxed);
     metrics_->messages.fetch_add(moved.size(), std::memory_order_relaxed);
-    queues_[worker].PushMany(std::move(moved));
+    NotePeak(queues_[worker].PushMany(std::move(moved)));
     return true;
   }
 
   std::vector<WorkQueue<T>> queues_;
   ClusterMetrics* metrics_;
   const bool enable_steal_;
+  const size_t max_queue_depth_;
+  std::function<void(int, T&)> process_;
   std::atomic<size_t> in_flight_{0};
   std::atomic<bool> done_{false};
 };

@@ -43,8 +43,21 @@ class FragmentDectEngine {
         opts_(opts),
         rt_(rt),
         p_(rt.num_fragments()),
-        pool_(p_, &metrics_, opts.enable_steal && p_ > 1),
+        pool_(p_, &metrics_, opts.enable_steal && p_ > 1,
+              opts.max_queue_depth),
         local_(p_) {
+    // Streaming results: each worker-local set spills under its own
+    // prefix with an equal share of the budget; the merged result set
+    // adopts all worker segments and keeps spilling under the main
+    // prefix (EnableSpill before the merge in Run()).
+    if (opts.spill != nullptr) {
+      VioSpillOptions wopts = *opts.spill;
+      wopts.budget_bytes = opts.spill->budget_bytes / static_cast<size_t>(p_);
+      for (int i = 0; i < p_; ++i) {
+        wopts.path_prefix = opts.spill->path_prefix + ".w" + std::to_string(i);
+        local_[i].EnableSpill(wopts);
+      }
+    }
     // Cancellation: every worker polls one shared token so a deadline
     // tripped by any worker (or an external Cancel) stops all of them.
     // When only a deadline is given the engine owns the broadcast token.
@@ -101,7 +114,10 @@ class FragmentDectEngine {
 
     PDectResult result;
     // Owner-computes seeding keeps per-worker sets globally disjoint, so
-    // the merge is a rehash-free arena concatenation.
+    // the merge is a rehash-free arena concatenation. Enabling spill on
+    // the result first keeps the merged set under the caller's prefix and
+    // full budget (rather than inheriting worker 0's ".w0" share).
+    if (opts_.spill != nullptr) result.vio.EnableSpill(*opts_.spill);
     for (int i = 0; i < p_; ++i) {
       result.vio.MergeDisjointUnchecked(std::move(local_[i]));
     }
@@ -251,7 +267,7 @@ class FragmentDectEngine {
         u.y_ready = y_ready;
         u.binding = binding;
         pending_[r].fetch_add(1, std::memory_order_relaxed);
-        pool_.Forward(u.home, std::move(u));
+        pool_.Forward(worker, u.home, std::move(u));
         return;
       }
       if (opts_.enable_split && seq_len >= opts_.min_split_adjacency &&
@@ -275,7 +291,7 @@ class FragmentDectEngine {
           s.y_ready = y_ready;
           s.binding = binding;
           pending_[r].fetch_add(1, std::memory_order_relaxed);
-          pool_.Seed(i, std::move(s));
+          pool_.Spawn(worker, i, std::move(s));
         }
         return;
       }
@@ -399,6 +415,14 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
 
   ClusterMetrics metrics;
   std::vector<VioSet> local(p);
+  if (opts.spill != nullptr) {
+    VioSpillOptions wopts = *opts.spill;
+    wopts.budget_bytes = opts.spill->budget_bytes / static_cast<size_t>(p);
+    for (int i = 0; i < p; ++i) {
+      wopts.path_prefix = opts.spill->path_prefix + ".w" + std::to_string(i);
+      local[i].EnableSpill(wopts);
+    }
+  }
   std::vector<std::thread> workers;
   workers.reserve(p);
   for (int i = 0; i < p; ++i) {
@@ -447,7 +471,9 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
 
   PDectResult result;
   // Per-worker sets are globally disjoint (seed ownership), so the merge
-  // is a rehash-free arena concatenation.
+  // is a rehash-free arena concatenation (result spill first — see the
+  // fragment-native path).
+  if (opts.spill != nullptr) result.vio.EnableSpill(*opts.spill);
   for (int i = 0; i < p; ++i) {
     result.vio.MergeDisjointUnchecked(std::move(local[i]));
   }

@@ -73,6 +73,17 @@ struct PDectOptions {
   CancelToken* cancel = nullptr;
   Deadline deadline = {};
   DetectRunInfo* run_info = nullptr;
+  /// Streaming results: each worker-local set spills under
+  /// "<path_prefix>.w<i>" with budget_bytes/p, and the merged result
+  /// keeps spilling under "<path_prefix>" (see DectOptions::spill and
+  /// detect/vio_stream.h). Read result.vio back with OpenCursor.
+  const VioSpillOptions* spill = nullptr;
+  /// Producer backpressure: a worker whose mid-run spawn (split slice,
+  /// forward, child unit) targets a queue at or past this depth executes
+  /// the unit inline instead of enqueueing it, bounding queue state under
+  /// core starvation (ROADMAP item 3's 1-core fig4_il bug). 0 disables
+  /// the bound. Initial seeding is exempt (bounded by the seed volume).
+  size_t max_queue_depth = 4096;
 };
 
 struct PDectResult {

@@ -26,9 +26,25 @@ class PIncDectEngine {
         p_(std::max(1, opts.num_processors)),
         index_(g, batch),
         nc_(0),
-        pool_(p_, &metrics_, opts.enable_steal && p_ > 1),
+        pool_(p_, &metrics_, opts.enable_steal && p_ > 1,
+              opts.max_queue_depth),
         local_added_(p_),
         local_removed_(p_) {
+    // Streaming results: each worker-local delta half spills under its
+    // own prefix with an equal share of the budget; the merged delta
+    // adopts the segments under ".add"/".rem" (see Run()).
+    if (opts.spill != nullptr) {
+      VioSpillOptions wopts = *opts.spill;
+      wopts.budget_bytes = opts.spill->budget_bytes / static_cast<size_t>(p_);
+      for (int i = 0; i < p_; ++i) {
+        wopts.path_prefix =
+            opts.spill->path_prefix + ".add.w" + std::to_string(i);
+        local_added_[i].EnableSpill(wopts);
+        wopts.path_prefix =
+            opts.spill->path_prefix + ".rem.w" + std::to_string(i);
+        local_removed_[i].EnableSpill(wopts);
+      }
+    }
     // Cancellation: one shared broadcast token (engine-owned when only a
     // deadline is given), one CancelCheck per worker.
     if (opts.cancel != nullptr || opts.deadline.armed()) {
@@ -165,6 +181,15 @@ class PIncDectEngine {
     PIncDectResult result;
     // Per-worker deltas are globally disjoint (exactly-once canonical
     // emission), so the merges are rehash-free arena concatenations.
+    // Result-side spill first, so the merged halves keep the caller's
+    // ".add"/".rem" prefixes and full budget shares.
+    if (opts_.spill != nullptr) {
+      VioSpillOptions side = *opts_.spill;
+      side.path_prefix = opts_.spill->path_prefix + ".add";
+      result.delta.added.EnableSpill(side);
+      side.path_prefix = opts_.spill->path_prefix + ".rem";
+      result.delta.removed.EnableSpill(side);
+    }
     for (int i = 0; i < p_; ++i) {
       result.delta.added.MergeDisjointUnchecked(std::move(local_added_[i]));
       result.delta.removed.MergeDisjointUnchecked(
@@ -338,7 +363,7 @@ class PIncDectEngine {
           opts_.latency_c * (k + 1.0) +
           static_cast<double>(seq_len) / static_cast<double>(p_);
       if (par_cost < seq_cost) {
-        SplitUnit(unit, seq_len);
+        SplitUnit(worker, unit, seq_len);
         return;
       }
     }
@@ -414,7 +439,7 @@ class PIncDectEngine {
         });
   }
 
-  void SplitUnit(const PWorkUnit& unit, size_t seq_len) {
+  void SplitUnit(int worker, const PWorkUnit& unit, size_t seq_len) {
     metrics_.splits.fetch_add(1, std::memory_order_relaxed);
     metrics_.messages.fetch_add(p_, std::memory_order_relaxed);
     const size_t chunk = (seq_len + p_ - 1) / p_;
@@ -425,7 +450,10 @@ class PIncDectEngine {
       slice.slice_begin = static_cast<int32_t>(b);
       slice.slice_end = static_cast<int32_t>(std::min(b + chunk, seq_len));
       pending_[slice.ngd_index].fetch_add(1, std::memory_order_relaxed);
-      pool_.Seed(i, std::move(slice));
+      // Spawn, not Seed: mid-run broadcasts respect the depth bound, so a
+      // saturated receiver's slice runs inline here (N_C is replicated —
+      // any worker can expand any unit).
+      pool_.Spawn(worker, i, std::move(slice));
     }
   }
 

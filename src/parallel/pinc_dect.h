@@ -82,6 +82,17 @@ struct PIncDectOptions {
   CancelToken* cancel = nullptr;
   Deadline deadline = {};
   DetectRunInfo* run_info = nullptr;
+  /// Streaming results: worker-local ΔVio sets spill under
+  /// "<path_prefix>.add.w<i>" / "<path_prefix>.rem.w<i>" with
+  /// budget_bytes/p each; the merged delta keeps spilling under
+  /// "<path_prefix>.add" / "<path_prefix>.rem" (see DectOptions::spill
+  /// and detect/vio_stream.h).
+  const VioSpillOptions* spill = nullptr;
+  /// Producer backpressure (see PDectOptions::max_queue_depth): mid-run
+  /// split broadcasts and child spawns targeting a queue at or past this
+  /// depth execute inline on the producing worker. 0 disables; initial
+  /// pivot seeding is exempt.
+  size_t max_queue_depth = 4096;
 };
 
 struct PIncDectResult {

@@ -232,6 +232,19 @@ TEST(VioSetTest, RemoveThenUncheckedReAppendSurvivesIndexCatchUp) {
   EXPECT_EQ(0u, set.size());
 }
 
+TEST(VioSetTest, IteratorsFromDifferentSetsNeverCompareEqual) {
+  // Regression: operator== compared only the record index, so begin() of
+  // two distinct sets (both index 0) compared equal — a range-for over
+  // one set could terminate against another's end().
+  VioSet a, b;
+  a.Add(V(0, {1}));
+  b.Add(V(0, {1}));
+  EXPECT_FALSE(a.items().begin() == b.items().begin());
+  EXPECT_TRUE(a.items().begin() != b.items().begin());
+  EXPECT_TRUE(a.items().begin() == a.items().begin());
+  EXPECT_FALSE(a.items().begin() == a.items().end());
+}
+
 TEST(VioSetTest, MergeDisjointRebasesSpilledTuples) {
   VioSet a, b;
   LegacyModel model;

@@ -38,6 +38,7 @@
 #include "core/parser.h"
 #include "detect/dect.h"
 #include "detect/inc_dect.h"
+#include "detect/vio_stream.h"
 #include "graph/graph_io.h"
 #include "graph/snapshot.h"
 #include "graph/snapshot_io.h"
@@ -373,10 +374,17 @@ void WriteVioArray(const VioSet& vio, const NgdSet& sigma,
                    std::ostream* os) {
   *os << "[";
   bool first = true;
-  for (const Violation& v : vio.Sorted()) {
-    *os << (first ? "\n" : ",\n");
-    first = false;
-    WriteViolation(v, sigma, os, "    ");
+  // Stream through the cursor instead of materializing Sorted(): same
+  // (rule, nodes) order, but one Violation resident at a time — and the
+  // only whole-set read that works on a spilled set.
+  StatusOr<VioCursor> cursor = vio.OpenCursor();
+  if (cursor.ok()) {
+    Violation v;
+    while (cursor->Next(&v)) {
+      *os << (first ? "\n" : ",\n");
+      first = false;
+      WriteViolation(v, sigma, os, "    ");
+    }
   }
   *os << (first ? "]" : "\n  ]");
 }
