@@ -24,6 +24,11 @@ run_config() {
 }
 
 run_config release -DCMAKE_BUILD_TYPE=Release
+# Project-invariant lint over the tree (failpoint arming, format-magic
+# uniqueness, banned constructs, header hygiene) — the same binary the
+# CI lint job runs, so regressions fail tier-1 locally first.
+echo "==== ngdlint ===="
+"${prefix}-release/ngdlint" .
 # Reduced randomized sweeps under the sanitizers, matching the CI job
 # (full sweeps run in the release configuration above).
 (

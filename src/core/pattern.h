@@ -11,6 +11,7 @@
 #define NGD_CORE_PATTERN_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.h"

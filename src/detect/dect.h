@@ -19,6 +19,7 @@
 #define NGD_DETECT_DECT_H_
 
 #include <optional>
+#include <vector>
 
 #include "detect/violation.h"
 #include "match/homomorphism.h"

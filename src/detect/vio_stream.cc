@@ -9,8 +9,10 @@
 #include <utility>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/hash.h"
+#include "util/thread_annotations.h"
 
 namespace ngd {
 
@@ -74,17 +76,25 @@ struct VioSpillState {
     size_t remap_from = 0;
   };
 
+  /// Set once by EnableSpill before any spill activity; read-only after.
   VioSpillOptions opts;
-  std::vector<Segment> segments;
-  uint64_t spilled_records = 0;
-  uint64_t next_segment_id = 0;
-  size_t peak_resident_bytes = 0;
+
+  /// Guards the segment registry. The resident arrays (recs_/arena_) stay
+  /// single-owner like the rest of VioSet; the lock exists so stat
+  /// accessors and cursor opens — the ngdd admin surface — stay coherent
+  /// against a concurrent flush finishing on the owner thread. All
+  /// critical sections are segment-granular (never per record).
+  Mutex mu;
+  std::vector<Segment> segments NGD_GUARDED_BY(mu);
+  uint64_t spilled_records NGD_GUARDED_BY(mu) = 0;
+  uint64_t next_segment_id NGD_GUARDED_BY(mu) = 0;
+  size_t peak_resident_bytes NGD_GUARDED_BY(mu) = 0;
   /// Sticky: a failed flush stops further spill attempts (the records
   /// stay resident, correct but over budget) and surfaces here.
-  bool flush_failed = false;
-  Status status;
+  bool flush_failed NGD_GUARDED_BY(mu) = false;
+  Status status NGD_GUARDED_BY(mu);
   /// RemapNgdIndices history (Σ-minimized runs remap once, at the end).
-  std::vector<std::vector<int>> remaps;
+  std::vector<std::vector<int>> remaps NGD_GUARDED_BY(mu);
 };
 
 // ---- VioSet special members (here: VioSpillState is complete) ------------
@@ -121,7 +131,9 @@ VioSet& VioSet::operator=(const VioSet& other) {
 // ---- Spill surface -------------------------------------------------------
 
 bool VioSet::AllResident() const {
-  return spill_ == nullptr || spill_->segments.empty();
+  if (spill_ == nullptr) return true;
+  MutexLock lock(&spill_->mu);
+  return spill_->segments.empty();
 }
 
 void VioSet::EnableSpill(const VioSpillOptions& opts) {
@@ -132,41 +144,58 @@ void VioSet::EnableSpill(const VioSpillOptions& opts) {
 }
 
 size_t VioSet::spilled_records() const {
-  return spill_ == nullptr ? 0
-                           : static_cast<size_t>(spill_->spilled_records);
+  if (spill_ == nullptr) return 0;
+  MutexLock lock(&spill_->mu);
+  return static_cast<size_t>(spill_->spilled_records);
 }
 
 size_t VioSet::num_spill_segments() const {
-  return spill_ == nullptr ? 0 : spill_->segments.size();
+  if (spill_ == nullptr) return 0;
+  MutexLock lock(&spill_->mu);
+  return spill_->segments.size();
 }
 
 size_t VioSet::peak_resident_bytes() const {
   const size_t now = resident_bytes();
-  return spill_ == nullptr ? now
-                           : std::max(spill_->peak_resident_bytes, now);
+  if (spill_ == nullptr) return now;
+  MutexLock lock(&spill_->mu);
+  return std::max(spill_->peak_resident_bytes, now);
 }
 
 Status VioSet::spill_status() const {
-  return spill_ == nullptr ? Status::OK() : spill_->status;
+  if (spill_ == nullptr) return Status::OK();
+  MutexLock lock(&spill_->mu);
+  return spill_->status;
 }
 
 Status VioSet::FlushSpill() {
   if (spill_ == nullptr) return Status::OK();
-  if (!spill_->flush_failed && !recs_.empty()) {
+  VioSpillState& s = *spill_;
+  bool failed;
+  {
+    MutexLock lock(&s.mu);
+    failed = s.flush_failed;
+  }
+  if (!failed && !recs_.empty()) {
     Status st = SpillResidentSegment();
     if (!st.ok()) {
-      spill_->flush_failed = true;
-      spill_->status = st;
+      MutexLock lock(&s.mu);
+      s.flush_failed = true;
+      s.status = st;
     }
   }
-  return spill_->status;
+  MutexLock lock(&s.mu);
+  return s.status;
 }
 
 void VioSet::MaybeSpill() {
   VioSpillState& s = *spill_;
   const size_t bytes = resident_bytes();
-  if (bytes > s.peak_resident_bytes) s.peak_resident_bytes = bytes;
-  if (s.flush_failed) return;
+  {
+    MutexLock lock(&s.mu);
+    if (bytes > s.peak_resident_bytes) s.peak_resident_bytes = bytes;
+    if (s.flush_failed) return;
+  }
   const size_t trigger =
       std::max(kMinSpillBytes, s.opts.budget_bytes > kSpillHeadroomBytes
                                    ? s.opts.budget_bytes - kSpillHeadroomBytes
@@ -174,6 +203,7 @@ void VioSet::MaybeSpill() {
   if (bytes < trigger) return;
   Status st = SpillResidentSegment();
   if (!st.ok()) {
+    MutexLock lock(&s.mu);
     s.flush_failed = true;
     s.status = st;
   }
@@ -223,13 +253,25 @@ Status VioSet::SpillResidentSegment() {
   const uint64_t header_fnv = Fnv1a64(blob.data(), kSegHeaderBytes - 8);
   std::memcpy(&blob[patch_at + 16], &header_fnv, sizeof(header_fnv));
 
-  std::string path = s.opts.path_prefix + ".seg" +
-                     std::to_string(s.next_segment_id) + ".ngdvio";
-  NGD_RETURN_IF_ERROR(WriteFileAtomic(path, blob, "vioseg_write"));
-  ++s.next_segment_id;
-  s.segments.push_back(
-      VioSpillState::Segment{std::move(path), count, s.remaps.size()});
-  s.spilled_records += count;
+  uint64_t segment_id;
+  size_t remap_from;
+  {
+    MutexLock lock(&s.mu);
+    // Reserve the id up front: a failed write leaves a gap in the
+    // numbering, which is harmless (readers walk the registry, not the
+    // directory).
+    segment_id = s.next_segment_id++;
+    remap_from = s.remaps.size();
+  }
+  std::string path =
+      s.opts.path_prefix + ".seg" + std::to_string(segment_id) + ".ngdvio";
+  NGD_RETURN_IF_ERROR(WriteFileAtomic(path, blob, NGD_FAILPOINT("vioseg_write")));
+  {
+    MutexLock lock(&s.mu);
+    s.segments.push_back(
+        VioSpillState::Segment{std::move(path), count, remap_from});
+    s.spilled_records += count;
+  }
 
   // Release the resident storage outright (capacity included — the
   // budget is about memory, not vector size). size_ keeps counting the
@@ -254,6 +296,8 @@ void VioSet::AdoptSpillFrom(VioSet&& other) {
   }
   VioSpillState& ours = *spill_;
   VioSpillState& theirs = *other.spill_;
+  MutexLock our_lock(&ours.mu);
+  MutexLock their_lock(&theirs.mu);
   // Engines merge worker-local results before any Σ-remap runs, so the
   // per-segment remap_from offsets stay valid across the adoption.
   assert(ours.remaps.empty() && theirs.remaps.empty());
@@ -271,6 +315,7 @@ void VioSet::AdoptSpillFrom(VioSet&& other) {
 void VioSet::ComposeSpillRemap(const std::vector<int>& kept) {
   // Segments written after this call hold already-remapped indices and
   // record remap_from past this entry, so they skip it at read time.
+  MutexLock lock(&spill_->mu);
   spill_->remaps.push_back(kept);
 }
 
@@ -451,6 +496,12 @@ StatusOr<VioCursor> VioSet::OpenCursor(uint64_t start_offset) const {
   impl->set = this;
   impl->total = size_;
   if (spill_ != nullptr) {
+    // Snapshot the registry under the lock; the cursor then reads segment
+    // FILES and the resident arrays lock-free, which is sound because a
+    // cursor requires a quiescent set for its whole lifetime (the same
+    // contract Sorted() has — segments are immutable once registered, and
+    // the remap history only grows, never rewrites, while unreferenced).
+    MutexLock lock(&spill_->mu);
     impl->remaps = &spill_->remaps;
     impl->segs.reserve(spill_->segments.size());
     for (const auto& seg : spill_->segments) {

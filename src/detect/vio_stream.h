@@ -79,15 +79,15 @@ class VioSink {
 
   /// Flushes the resident tail into a final segment and reports the
   /// sticky spill status. Optional: cursors do not require it.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   /// See VioSet::OpenCursor.
-  StatusOr<VioCursor> OpenCursor(uint64_t offset = 0) const;
+  [[nodiscard]] StatusOr<VioCursor> OpenCursor(uint64_t offset = 0) const;
 
   /// Appends up to `max_records` violations starting at record `offset`
   /// to *out. Returns the offset to resume from (== total when the
   /// stream is drained).
-  StatusOr<uint64_t> ReadPage(uint64_t offset, size_t max_records,
+  [[nodiscard]] StatusOr<uint64_t> ReadPage(uint64_t offset, size_t max_records,
                               std::vector<Violation>* out) const;
 
  private:

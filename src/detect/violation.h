@@ -230,10 +230,10 @@ class VioSet {
   /// High-water mark of resident_bytes() observed by the spill checks.
   size_t peak_resident_bytes() const;
   /// First flush error, sticky (OK while everything has worked).
-  Status spill_status() const;
+  [[nodiscard]] Status spill_status() const;
   /// Forces the resident tail into a final segment (e.g. before handing
   /// the segment files to another process). Not required for OpenCursor.
-  Status FlushSpill();
+  [[nodiscard]] Status FlushSpill();
 
   /// Bytes held by the resident record/arena/index storage.
   size_t resident_bytes() const {
@@ -247,7 +247,7 @@ class VioSet {
   /// prior stream at that record index (linear skip). The set must
   /// outlive the cursor and must not be mutated while it is open. Fails
   /// with kCorruption when a segment file fails its checksum.
-  StatusOr<VioCursor> OpenCursor(uint64_t start_offset = 0) const;
+  [[nodiscard]] StatusOr<VioCursor> OpenCursor(uint64_t start_offset = 0) const;
 
  private:
   friend struct ItemsView;
@@ -327,7 +327,7 @@ class VioSet {
   }
 
   /// Sorts the resident live records and flushes them as one segment.
-  Status SpillResidentSegment();
+  [[nodiscard]] Status SpillResidentSegment();
 
   /// MergeDisjointUnchecked's spill half: takes over `other`'s segment
   /// files and sticky status before the resident records are merged

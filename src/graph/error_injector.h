@@ -20,6 +20,7 @@
 #define NGD_GRAPH_ERROR_INJECTOR_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "graph/graph.h"
 #include "util/rng.h"

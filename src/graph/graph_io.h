@@ -55,22 +55,22 @@ struct IngestOptions {
 /// §5.2), so node and attribute emission is view-invariant by
 /// construction; the edge records are filtered to exactly the edges
 /// visible in `view`.
-Status WriteGraphText(const Graph& g, std::ostream* os,
+[[nodiscard]] Status WriteGraphText(const Graph& g, std::ostream* os,
                       GraphView view = GraphView::kNew);
-Status SaveGraphFile(const Graph& g, const std::string& path,
+[[nodiscard]] Status SaveGraphFile(const Graph& g, const std::string& path,
                      GraphView view = GraphView::kNew);
 
 /// Reads a whole file into memory with one sized bulk read (shared by
 /// the TSV loader and the binary snapshot loader).
-StatusOr<std::string> ReadFileBytes(const std::string& path);
+[[nodiscard]] StatusOr<std::string> ReadFileBytes(const std::string& path);
 
 /// Parses a graph in the TSV format above (chunk-parallel per `opts`).
-StatusOr<std::unique_ptr<Graph>> ParseGraphText(std::string_view text,
+[[nodiscard]] StatusOr<std::unique_ptr<Graph>> ParseGraphText(std::string_view text,
                                                 SchemaPtr schema,
                                                 const IngestOptions& opts = {});
-StatusOr<std::unique_ptr<Graph>> ReadGraphText(std::istream* is,
+[[nodiscard]] StatusOr<std::unique_ptr<Graph>> ReadGraphText(std::istream* is,
                                                SchemaPtr schema);
-StatusOr<std::unique_ptr<Graph>> LoadGraphFile(const std::string& path,
+[[nodiscard]] StatusOr<std::unique_ptr<Graph>> LoadGraphFile(const std::string& path,
                                                SchemaPtr schema,
                                                const IngestOptions& opts = {});
 

@@ -43,17 +43,17 @@ inline constexpr char kSnapshotMagic[8] = {'N', 'G', 'D', 'S',
 
 /// Serializes the snapshot (with the full label/attr dictionaries of its
 /// schema) into an in-memory snapshot file image.
-StatusOr<std::string> SerializeSnapshot(const GraphSnapshot& snap);
+[[nodiscard]] StatusOr<std::string> SerializeSnapshot(const GraphSnapshot& snap);
 
 /// Parses a snapshot file image. Dictionary names are replayed into
 /// `schema` in id order: a freshly created Schema always works; a
 /// pre-populated one must agree on every id or the load fails with
 /// kCorruption (no silent remapping).
-StatusOr<std::unique_ptr<GraphSnapshot>> DeserializeSnapshot(
+[[nodiscard]] StatusOr<std::unique_ptr<GraphSnapshot>> DeserializeSnapshot(
     std::string_view bytes, SchemaPtr schema);
 
-Status SaveSnapshotFile(const GraphSnapshot& snap, const std::string& path);
-StatusOr<std::unique_ptr<GraphSnapshot>> LoadSnapshotFile(
+[[nodiscard]] Status SaveSnapshotFile(const GraphSnapshot& snap, const std::string& path);
+[[nodiscard]] StatusOr<std::unique_ptr<GraphSnapshot>> LoadSnapshotFile(
     const std::string& path, SchemaPtr schema);
 
 /// True iff the file starts with the snapshot magic (format sniffing for
@@ -64,7 +64,7 @@ bool SniffSnapshotFile(const std::string& path);
 /// to feed incremental detection — which needs a mutable graph to carry
 /// ΔG — from a snapshot-file input. O(|V| + |E|) plus the edge-index
 /// hashing any live graph pays.
-StatusOr<std::unique_ptr<Graph>> MaterializeGraph(const GraphSnapshot& snap);
+[[nodiscard]] StatusOr<std::unique_ptr<Graph>> MaterializeGraph(const GraphSnapshot& snap);
 
 /// Structural digest of the snapshot content (node labels, attribute
 /// tuples including string bytes, out-adjacency with labels). Two

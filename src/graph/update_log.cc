@@ -10,6 +10,7 @@
 #include "graph/graph_io.h"
 #include "graph/snapshot.h"
 #include "graph/snapshot_io.h"
+#include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/hash.h"
 
@@ -255,6 +256,7 @@ Status ScanLogImage(std::string_view image, const std::string& path,
   Reader h{bytes + sizeof(kWalMagic), kWalHeaderBytes - sizeof(kWalMagic)};
   uint32_t version, endian;
   uint64_t base_epoch;
+  // Reads cannot run short: the length check above guarantees a full header.
   (void)h.U32(&version);
   (void)h.U32(&endian);
   (void)h.U64(&base_epoch);
@@ -276,6 +278,7 @@ Status ScanLogImage(std::string_view image, const std::string& path,
     Reader r{bytes + off, kRecordHeaderBytes};
     uint32_t payload_len, kind;
     uint64_t epoch, checksum;
+    // Reads cannot run short: the torn-tail check above bounds the header.
     (void)r.U32(&payload_len);
     (void)r.U32(&kind);
     (void)r.U64(&epoch);
@@ -452,16 +455,19 @@ StatusOr<std::unique_ptr<UpdateLog>> UpdateLog::Open(const std::string& path,
     info->truncated_bytes = truncated;
   }
   return std::unique_ptr<UpdateLog>(
+      // Private ctor: make_unique cannot reach it. ngdlint:allow(naked-new)
       new UpdateLog(path, fd, scan.base_epoch, scan.last_epoch));
 }
 
 StatusOr<std::unique_ptr<UpdateLog>> UpdateLog::Create(const std::string& path,
                                                        uint64_t base_epoch) {
   NGD_RETURN_IF_ERROR(
-      WriteFileAtomic(path, SerializeWalHeader(base_epoch), "wal_create"));
+      WriteFileAtomic(path, SerializeWalHeader(base_epoch),
+                      NGD_FAILPOINT("wal_create")));
   int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) return Status::NotFound(Errno("cannot open " + path));
   return std::unique_ptr<UpdateLog>(
+      // Private ctor: make_unique cannot reach it. ngdlint:allow(naked-new)
       new UpdateLog(path, fd, base_epoch, base_epoch));
 }
 
@@ -489,7 +495,8 @@ Status UpdateLog::Append(const EpochRecord& rec) {
   record.append(payload);
 
   Status st =
-      WriteWithFailpoint(fd_, record, "wal_append", &sync_failure_pending_);
+      WriteWithFailpoint(fd_, record, NGD_FAILPOINT("wal_append"),
+                         &sync_failure_pending_);
   if (!st.ok()) {
     // The file may now carry a torn record. Treat the handle as dead — the
     // process-crash model this simulates never appends again; a real
@@ -510,7 +517,7 @@ Status UpdateLog::Sync() {
     fd_ = -1;
     return Status::Internal("injected fsync failure at wal_append: " + path_);
   }
-  Status st = SyncFdWithFailpoint(fd_, "wal_sync");
+  Status st = SyncFdWithFailpoint(fd_, NGD_FAILPOINT("wal_sync"));
   if (!st.ok()) {
     // After a failed fsync the kernel may have dropped the dirty pages;
     // durability of earlier appends is unknown. Fail the handle.
@@ -578,7 +585,8 @@ Status RotateState(const Graph& g, const std::string& snapshot_path,
   }
   GraphSnapshot snap(g, GraphView::kNew);
   NGD_ASSIGN_OR_RETURN(std::string image, SerializeSnapshot(snap));
-  NGD_RETURN_IF_ERROR(WriteFileAtomic(snapshot_path, image, "rotate_snapshot"));
+  NGD_RETURN_IF_ERROR(
+      WriteFileAtomic(snapshot_path, image, NGD_FAILPOINT("rotate_snapshot")));
 
   // Crash window here leaves "new snapshot + old journal": replay of the
   // journal's full suffix onto the new snapshot is idempotent.

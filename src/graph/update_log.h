@@ -89,7 +89,7 @@ struct EpochRecord {
   /// comment); malformed contents (node-id gaps, out-of-range endpoints)
   /// return kCorruption with the graph rolled back to its committed
   /// state.
-  Status ApplyTo(Graph* g) const;
+  [[nodiscard]] Status ApplyTo(Graph* g) const;
 };
 
 /// Append-only journal handle. Not thread-safe; the owner serializes
@@ -108,12 +108,12 @@ class UpdateLog {
   /// base_epoch 0; an existing one is scanned, a torn tail truncated
   /// (never an error), and appends resume after the last good record.
   /// Mid-file corruption is kCorruption.
-  static StatusOr<std::unique_ptr<UpdateLog>> Open(const std::string& path,
+  [[nodiscard]] static StatusOr<std::unique_ptr<UpdateLog>> Open(const std::string& path,
                                                    OpenInfo* info = nullptr);
 
   /// Starts a fresh journal at base_epoch, atomically replacing any file
   /// at `path` (used by RotateState).
-  static StatusOr<std::unique_ptr<UpdateLog>> Create(const std::string& path,
+  [[nodiscard]] static StatusOr<std::unique_ptr<UpdateLog>> Create(const std::string& path,
                                                      uint64_t base_epoch);
 
   ~UpdateLog();
@@ -123,11 +123,11 @@ class UpdateLog {
   /// Appends one epoch. rec.epoch must be last_epoch() + 1 (strictly
   /// consecutive ids are what lets recovery prove nothing is missing).
   /// The record is durable only after the next Sync().
-  Status Append(const EpochRecord& rec);
+  [[nodiscard]] Status Append(const EpochRecord& rec);
 
   /// Explicit sync point: flushes the OS pipeline with fsync. An epoch
   /// may only Commit() on the in-memory graph after its Sync succeeded.
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   const std::string& path() const { return path_; }
   uint64_t base_epoch() const { return base_epoch_; }
@@ -151,7 +151,7 @@ class UpdateLog {
 /// Reads and validates a journal without opening it for append, applying
 /// the same torn-tail policy (`info`, optional, reports what was found —
 /// the file itself is not modified).
-StatusOr<std::vector<EpochRecord>> ReadLogRecords(const std::string& path,
+[[nodiscard]] StatusOr<std::vector<EpochRecord>> ReadLogRecords(const std::string& path,
                                                   UpdateLog::OpenInfo* info);
 
 struct RecoverResult {
@@ -167,7 +167,7 @@ struct RecoverResult {
 /// journal at `wal_path` (a missing journal means "no suffix"). Both
 /// missing yields an empty graph at epoch 0. A snapshot or journal that
 /// exists but is corrupt beyond the torn-tail rule is kCorruption.
-StatusOr<RecoverResult> RecoverState(const std::string& snapshot_path,
+[[nodiscard]] StatusOr<RecoverResult> RecoverState(const std::string& snapshot_path,
                                      const std::string& wal_path,
                                      SchemaPtr schema);
 
@@ -176,7 +176,7 @@ StatusOr<RecoverResult> RecoverState(const std::string& snapshot_path,
 /// whose base_epoch is the old log's last_epoch. Both steps are atomic
 /// file replacements, so a crash between them leaves "new snapshot + old
 /// journal" — recoverable because replay is idempotent.
-Status RotateState(const Graph& g, const std::string& snapshot_path,
+[[nodiscard]] Status RotateState(const Graph& g, const std::string& snapshot_path,
                    std::unique_ptr<UpdateLog>* wal);
 
 }  // namespace ngd

@@ -47,7 +47,7 @@ struct UpdateBatch {
 /// caller can either run detection on the prefix or `g->Rollback()`.
 /// `failed_record` (optional) receives the index of the offending record
 /// in the original batch (unchanged on success).
-Status ApplyUpdateBatch(Graph* g, UpdateBatch* batch,
+[[nodiscard]] Status ApplyUpdateBatch(Graph* g, UpdateBatch* batch,
                         size_t* failed_record = nullptr);
 
 struct UpdateGenOptions {

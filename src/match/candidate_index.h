@@ -10,6 +10,8 @@
 #ifndef NGD_MATCH_CANDIDATE_INDEX_H_
 #define NGD_MATCH_CANDIDATE_INDEX_H_
 
+#include <vector>
+
 #include "core/pattern.h"
 #include "graph/accessor.h"
 #include "graph/graph.h"

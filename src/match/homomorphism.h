@@ -20,6 +20,7 @@
 #define NGD_MATCH_HOMOMORPHISM_H_
 
 #include <functional>
+#include <vector>
 
 #include "core/ngd.h"
 #include "detect/violation.h"

@@ -38,6 +38,7 @@
 
 #include "parallel/fragment.h"
 #include "util/cancel.h"
+#include "util/thread_annotations.h"
 
 namespace ngd {
 
@@ -88,20 +89,20 @@ template <typename T>
 class WorkQueue {
  public:
   /// Returns the queue depth after the push (the backpressure signal).
-  size_t Push(T unit) {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t Push(T unit) NGD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     items_.push_back(std::move(unit));
     return items_.size();
   }
 
-  size_t PushMany(std::vector<T>&& units) {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t PushMany(std::vector<T>&& units) NGD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     for (auto& u : units) items_.push_back(std::move(u));
     return items_.size();
   }
 
-  bool TryPopBack(T* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPopBack(T* out) NGD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.back());
     items_.pop_back();
@@ -109,8 +110,8 @@ class WorkQueue {
   }
 
   /// Harvests up to `max_units` from the front (balancer/thief side).
-  std::vector<T> HarvestFront(size_t max_units) {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<T> HarvestFront(size_t max_units) NGD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     std::vector<T> out;
     size_t take = std::min(max_units, items_.size());
     out.reserve(take);
@@ -121,14 +122,14 @@ class WorkQueue {
     return out;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const NGD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::deque<T> items_;
+  mutable Mutex mu_;
+  std::deque<T> items_ NGD_GUARDED_BY(mu_);
 };
 
 /// p work queues + p workers, with unit-count termination, work stealing
@@ -217,9 +218,14 @@ class WorkStealingPool {
   /// drained *without* processing, so a cancelled run still terminates
   /// through the normal in-flight accounting — engines report whatever
   /// their workers completed, with the truncation marked.
+  /// `worker_finish` (optional) runs on each worker's own thread exactly
+  /// once, after that worker has processed its last unit — the hook
+  /// engines use to hand worker-local result sets to a mutex-guarded
+  /// merge list instead of relying on join-order visibility.
   template <typename ProcessFn, typename TickFn>
   void Run(ProcessFn&& process, TickFn&& tick,
-           const CancelToken* cancel = nullptr) {
+           const CancelToken* cancel = nullptr,
+           const std::function<void(int)>& worker_finish = {}) {
     done_.store(false, std::memory_order_release);
     // Stored so backpressured Spawn/Forward can execute units inline on
     // the producing worker. The process fn must tolerate re-entry (a unit
@@ -229,8 +235,10 @@ class WorkStealingPool {
     std::vector<std::thread> workers;
     workers.reserve(queues_.size());
     for (int i = 0; i < num_queues(); ++i) {
-      workers.emplace_back(
-          [this, i, &process, cancel]() { WorkerLoop(i, process, cancel); });
+      workers.emplace_back([this, i, &process, cancel, &worker_finish]() {
+        WorkerLoop(i, process, cancel);
+        if (worker_finish) worker_finish(i);
+      });
     }
     while (in_flight_.load(std::memory_order_acquire) > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
@@ -314,7 +322,11 @@ class WorkStealingPool {
 };
 
 /// The fragmented graph: p FragmentSnapshots over one Partition. Owns the
-/// per-fragment CSRs (built in parallel) and answers ownership queries;
+/// per-fragment CSRs (built in parallel) and answers ownership queries.
+/// Thread-compatible by immutability: every member is written during
+/// construction (or Load) and only read afterwards, so all p workers share
+/// a runtime with no capability to hold — the thread-safety analysis has
+/// nothing to check here by design;
 /// per-call engines own their ClusterMetrics and charge replication from
 /// total_halo_nodes(). A runtime outlives rule sets whose max pattern
 /// diameter fits halo_hops(), so benchmarks and the future ngdd daemon
@@ -341,13 +353,13 @@ class FragmentRuntime {
   uint64_t total_halo_nodes() const;
 
   /// Warm-start persistence: fragment f goes to "<prefix>.f<f>.ngdfrag".
-  Status Save(const std::string& prefix) const;
+  [[nodiscard]] Status Save(const std::string& prefix) const;
   /// Loads p fragment files saved by Save, revalidating that they form a
   /// consistent fragmentation (every node owned exactly once, matching
   /// halo depth/view). Partition stats (boundary sets, crossing edges)
   /// are reconstructed from the fragment CSRs — exact when halo_hops >= 1.
-  static StatusOr<FragmentRuntime> Load(const std::string& prefix, int p,
-                                        SchemaPtr schema);
+  [[nodiscard]] static StatusOr<FragmentRuntime> Load(const std::string& prefix,
+                                                      int p, SchemaPtr schema);
 
  private:
   FragmentRuntime() = default;

@@ -8,6 +8,7 @@
 #include "graph/accessor.h"
 #include "graph/graph_io.h"
 #include "graph/snapshot_io.h"
+#include "util/failpoint.h"
 #include "util/fs.h"
 
 namespace ngd {
@@ -250,7 +251,7 @@ Status SaveFragmentFile(const FragmentSnapshot& frag,
                         const std::string& path) {
   NGD_ASSIGN_OR_RETURN(std::string image, SerializeFragment(frag));
   // Atomic replace: a crash mid-save must leave the previous file intact.
-  return WriteFileAtomic(path, image, "fragment_write");
+  return WriteFileAtomic(path, image, NGD_FAILPOINT("fragment_write"));
 }
 
 StatusOr<FragmentSnapshot> LoadFragmentFile(const std::string& path,

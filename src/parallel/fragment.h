@@ -70,17 +70,17 @@ FragmentSnapshot BuildFragmentSnapshot(const Graph& g, const Partition& part,
 
 /// "NGDFRAG1" container image: header + ownership arrays + the embedded
 /// snapshot_io image of `csr` (all sections FNV-1a checksummed there).
-StatusOr<std::string> SerializeFragment(const FragmentSnapshot& frag);
+[[nodiscard]] StatusOr<std::string> SerializeFragment(const FragmentSnapshot& frag);
 
 /// Parses a fragment image, revalidating the embedded snapshot and every
 /// ownership invariant (sorted disjoint member/halo sets, in-range owner
 /// tags). Schema contract matches DeserializeSnapshot.
-StatusOr<FragmentSnapshot> DeserializeFragment(std::string_view bytes,
+[[nodiscard]] StatusOr<FragmentSnapshot> DeserializeFragment(std::string_view bytes,
                                                SchemaPtr schema);
 
-Status SaveFragmentFile(const FragmentSnapshot& frag,
+[[nodiscard]] Status SaveFragmentFile(const FragmentSnapshot& frag,
                         const std::string& path);
-StatusOr<FragmentSnapshot> LoadFragmentFile(const std::string& path,
+[[nodiscard]] StatusOr<FragmentSnapshot> LoadFragmentFile(const std::string& path,
                                             SchemaPtr schema);
 
 }  // namespace ngd

@@ -6,6 +6,7 @@
 #include <optional>
 #include <thread>
 
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace ngd {
@@ -109,8 +110,12 @@ class FragmentDectEngine {
       }
     }
 
+    // Each worker hands its local set to the guarded merge list on its
+    // own thread as it exits the pool — an explicit critical section the
+    // thread-safety analysis can check, instead of an implicit reliance
+    // on join-order visibility of local_[i].
     pool_.Run([this](int worker, PUnit& unit) { ProcessUnit(worker, unit); },
-              []() {}, token_);
+              []() {}, token_, [this](int worker) { RetireWorker(worker); });
 
     PDectResult result;
     // Owner-computes seeding keeps per-worker sets globally disjoint, so
@@ -118,8 +123,16 @@ class FragmentDectEngine {
     // the result first keeps the merged set under the caller's prefix and
     // full budget (rather than inheriting worker 0's ".w0" share).
     if (opts_.spill != nullptr) result.vio.EnableSpill(*opts_.spill);
-    for (int i = 0; i < p_; ++i) {
-      result.vio.MergeDisjointUnchecked(std::move(local_[i]));
+    {
+      MutexLock lock(&merge_mu_);
+      // Worker completion order is nondeterministic; merging in worker
+      // order keeps the result arena layout identical run to run.
+      std::sort(finished_.begin(), finished_.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& f : finished_) {
+        result.vio.MergeDisjointUnchecked(std::move(f.second));
+      }
+      finished_.clear();
     }
     result.crossing_edges = rt_.partition().crossing_edges;
     result.fragments = p_;
@@ -349,13 +362,26 @@ class FragmentDectEngine {
     return static_cast<size_t>(it - frag.halo.begin());
   }
 
+  /// Pool-exit handoff: worker `w` moves its finished local set into the
+  /// guarded merge list. local_[w] is written only by worker w's thread
+  /// (backpressured inline runs execute on the producing worker, so
+  /// confinement holds), making the move race-free by construction.
+  void RetireWorker(int worker) NGD_EXCLUDES(merge_mu_) {
+    MutexLock lock(&merge_mu_);
+    finished_.emplace_back(worker, std::move(local_[worker]));
+  }
+
   const NgdSet& sigma_;
   const PDectOptions& opts_;
   const FragmentRuntime& rt_;
   const int p_;
   ClusterMetrics metrics_;
   WorkStealingPool<PUnit> pool_;
+  /// Worker-local result sets: slot i is thread-confined to worker i
+  /// while the pool runs, then handed off via RetireWorker.
   std::vector<VioSet> local_;
+  Mutex merge_mu_;
+  std::vector<std::pair<int, VioSet>> finished_ NGD_GUARDED_BY(merge_mu_);
   std::vector<int> start_of_;
   std::vector<LabelId> start_label_;
   std::vector<MatchPlan> plans_;
@@ -415,6 +441,12 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
 
   ClusterMetrics metrics;
   std::vector<VioSet> local(p);
+  // Finished worker sets, handed off under a real lock at worker exit
+  // (see FragmentDectEngine::RetireWorker for the rationale).
+  struct MergeState {
+    Mutex mu;
+    std::vector<std::pair<int, VioSet>> finished NGD_GUARDED_BY(mu);
+  } merge;
   if (opts.spill != nullptr) {
     VioSpillOptions wopts = *opts.spill;
     wopts.budget_bytes = opts.spill->budget_bytes / static_cast<size_t>(p);
@@ -465,6 +497,8 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
           rule_ok[seed.ngd_index].store(0, std::memory_order_relaxed);
         }
       }
+      MutexLock lock(&merge.mu);
+      merge.finished.emplace_back(i, std::move(local[i]));
     });
   }
   for (auto& w : workers) w.join();
@@ -474,8 +508,13 @@ PDectResult SharedSnapshotPDect(const Graph& g, const NgdSet& sigma,
   // is a rehash-free arena concatenation (result spill first — see the
   // fragment-native path).
   if (opts.spill != nullptr) result.vio.EnableSpill(*opts.spill);
-  for (int i = 0; i < p; ++i) {
-    result.vio.MergeDisjointUnchecked(std::move(local[i]));
+  {
+    MutexLock lock(&merge.mu);
+    std::sort(merge.finished.begin(), merge.finished.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& f : merge.finished) {
+      result.vio.MergeDisjointUnchecked(std::move(f.second));
+    }
   }
   result.crossing_edges = partition.crossing_edges;
   result.fragments = p;

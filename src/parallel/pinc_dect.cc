@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "graph/neighborhood.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace ngd {
@@ -163,6 +164,9 @@ class PIncDectEngine {
     {
       using namespace std::chrono;
       auto last_balance = steady_clock::now();
+      // Workers hand their local delta halves to the guarded merge list
+      // on their own threads as they exit the pool — an explicit critical
+      // section instead of join-order visibility (see PDect).
       pool_.Run(
           [this](int worker, PWorkUnit& unit) { ProcessUnit(worker, unit); },
           [&]() {
@@ -175,7 +179,7 @@ class PIncDectEngine {
             last_balance = now;
             BalanceOnce();
           },
-          token_);
+          token_, [this](int worker) { RetireWorker(worker); });
     }
 
     PIncDectResult result;
@@ -190,10 +194,18 @@ class PIncDectEngine {
       side.path_prefix = opts_.spill->path_prefix + ".rem";
       result.delta.removed.EnableSpill(side);
     }
-    for (int i = 0; i < p_; ++i) {
-      result.delta.added.MergeDisjointUnchecked(std::move(local_added_[i]));
-      result.delta.removed.MergeDisjointUnchecked(
-          std::move(local_removed_[i]));
+    {
+      MutexLock lock(&merge_mu_);
+      // Worker-order merge keeps the result arenas deterministic.
+      std::sort(finished_.begin(), finished_.end(),
+                [](const FinishedDelta& a, const FinishedDelta& b) {
+                  return a.worker < b.worker;
+                });
+      for (auto& f : finished_) {
+        result.delta.added.MergeDisjointUnchecked(std::move(f.added));
+        result.delta.removed.MergeDisjointUnchecked(std::move(f.removed));
+      }
+      finished_.clear();
     }
     result.candidate_neighborhood_nodes = nc_.size();
     result.messages = metrics_.messages.load();
@@ -478,6 +490,14 @@ class PIncDectEngine {
                            unit.binding.size());
   }
 
+  /// Pool-exit handoff (see PDect's RetireWorker): worker `w` moves both
+  /// halves of its finished delta into the guarded merge list.
+  void RetireWorker(int worker) NGD_EXCLUDES(merge_mu_) {
+    MutexLock lock(&merge_mu_);
+    finished_.push_back(FinishedDelta{worker, std::move(local_added_[worker]),
+                                      std::move(local_removed_[worker])});
+  }
+
   const Graph& g_;
   const NgdSet& sigma_;
   const UpdateBatch& batch_;
@@ -491,8 +511,19 @@ class PIncDectEngine {
   NodeSet nc_;
   std::unordered_map<int64_t, MatchPlan> plans_;
   WorkStealingPool<PWorkUnit> pool_;
+  /// Worker-local delta halves: slot i is thread-confined to worker i
+  /// while the pool runs (inline runs execute on the producing worker),
+  /// then handed off via RetireWorker.
   std::vector<VioSet> local_added_;
   std::vector<VioSet> local_removed_;
+  /// One finished worker's delta, moved under merge_mu_ at pool exit.
+  struct FinishedDelta {
+    int worker;
+    VioSet added;
+    VioSet removed;
+  };
+  Mutex merge_mu_;
+  std::vector<FinishedDelta> finished_ NGD_GUARDED_BY(merge_mu_);
   ClusterMetrics metrics_;
   /// Cancellation state (null token_ = not cancellable) and per-rule
   /// outstanding work-unit counts (see PDect for the accounting scheme).

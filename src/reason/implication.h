@@ -11,6 +11,8 @@
 #ifndef NGD_REASON_IMPLICATION_H_
 #define NGD_REASON_IMPLICATION_H_
 
+#include <string>
+
 #include "reason/satisfiability.h"
 
 namespace ngd {

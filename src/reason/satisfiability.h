@@ -28,7 +28,9 @@
 #ifndef NGD_REASON_SATISFIABILITY_H_
 #define NGD_REASON_SATISFIABILITY_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/ngd.h"
 #include "reason/constraint_encoder.h"

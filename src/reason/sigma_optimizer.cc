@@ -1,9 +1,9 @@
 #include "reason/sigma_optimizer.h"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_map>
 
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace ngd {
@@ -264,16 +264,17 @@ struct SigmaCacheEntry {
 };
 
 struct SigmaCache {
-  std::mutex mu;
+  Mutex mu;
   // serialized Σ -> minimization result. Bounded: cleared wholesale when
   // it outgrows the cap (randomized test sweeps would otherwise grow it
   // without limit; production catalogs hold a handful of entries).
-  std::unordered_map<std::string, SigmaCacheEntry> entries;
+  std::unordered_map<std::string, SigmaCacheEntry> entries NGD_GUARDED_BY(mu);
   static constexpr size_t kMaxEntries = 256;
 };
 
 SigmaCache& Cache() {
-  static SigmaCache* cache = new SigmaCache();
+  // Leaked process-lifetime singleton: no destructor-order hazard at exit.
+  static SigmaCache* cache = new SigmaCache();  // ngdlint:allow(naked-new)
   return *cache;
 }
 
@@ -409,7 +410,7 @@ bool ResolveMinimizedSigma(const NgdSet& sigma, const SchemaPtr& schema,
   const std::string key = SerializeSigma(sigma, schema);
   if (opts.use_cache) {
     SigmaCache& cache = Cache();
-    std::lock_guard<std::mutex> lock(cache.mu);
+    MutexLock lock(&cache.mu);
     auto it = cache.entries.find(key);
     if (it != cache.entries.end()) {
       if (it->second.kept.size() == sigma.size()) {
@@ -424,7 +425,7 @@ bool ResolveMinimizedSigma(const NgdSet& sigma, const SchemaPtr& schema,
   MinimizedSigma m = MinimizeSigma(sigma, schema, opts);
   if (opts.use_cache) {
     SigmaCache& cache = Cache();
-    std::lock_guard<std::mutex> lock(cache.mu);
+    MutexLock lock(&cache.mu);
     if (cache.entries.size() >= SigmaCache::kMaxEntries) {
       cache.entries.clear();
     }
@@ -438,7 +439,7 @@ bool ResolveMinimizedSigma(const NgdSet& sigma, const SchemaPtr& schema,
 
 void ClearSigmaOptimizerCache() {
   SigmaCache& cache = Cache();
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(&cache.mu);
   cache.entries.clear();
 }
 

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
+#include <string>
 #include <unordered_map>
+
+#include "util/thread_annotations.h"
 
 namespace ngd {
 namespace failpoint {
@@ -16,17 +18,19 @@ struct SiteSpec {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, SiteSpec> sites;
-  Mode nth_mode = Mode::kNone;
-  uint64_t nth_target = 0;  // 1-based traversal index to fire at
-  uint64_t traversals = 0;
+  Mutex mu;
+  std::unordered_map<std::string, SiteSpec> sites NGD_GUARDED_BY(mu);
+  Mode nth_mode NGD_GUARDED_BY(mu) = Mode::kNone;
+  /// 1-based traversal index to fire at.
+  uint64_t nth_target NGD_GUARDED_BY(mu) = 0;
+  uint64_t traversals NGD_GUARDED_BY(mu) = 0;
 };
 
 std::atomic<bool> g_enabled{false};
 
 Registry& Reg() {
-  static Registry* r = new Registry();
+  // Leaked process-lifetime singleton: no destructor-order hazard at exit.
+  static Registry* r = new Registry();  // ngdlint:allow(naked-new)
   return *r;
 }
 
@@ -65,7 +69,7 @@ bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void Reset() {
   Registry& r = Reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   r.sites.clear();
   r.nth_mode = Mode::kNone;
   r.nth_target = 0;
@@ -76,7 +80,7 @@ void Reset() {
 void ArmSite(std::string_view site, Mode mode, uint64_t skip) {
   Registry& r = Reg();
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(&r.mu);
     SiteSpec& spec = r.sites[std::string(site)];
     spec.mode = mode;
     spec.skip = skip;
@@ -88,7 +92,7 @@ void ArmSite(std::string_view site, Mode mode, uint64_t skip) {
 void ArmNth(Mode mode, uint64_t n) {
   Registry& r = Reg();
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(&r.mu);
     r.nth_mode = mode;
     r.nth_target = n == 0 ? 1 : n;
     r.traversals = 0;
@@ -98,7 +102,7 @@ void ArmNth(Mode mode, uint64_t n) {
 
 uint64_t Traversals() {
   Registry& r = Reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   return r.traversals;
 }
 
@@ -140,7 +144,7 @@ bool ArmFromEnv() {
 Mode Hit(std::string_view site) {
   if (!g_enabled.load(std::memory_order_relaxed)) return Mode::kNone;
   Registry& r = Reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   ++r.traversals;
   if (r.nth_mode != Mode::kNone && r.traversals == r.nth_target) {
     Mode m = r.nth_mode;

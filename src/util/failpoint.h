@@ -33,6 +33,17 @@
 #include <string>
 #include <string_view>
 
+/// Marks a failpoint site string at its point of use:
+///
+///   WriteFileAtomic(path, image, NGD_FAILPOINT("snapshot_write"));
+///
+/// Expands to the string itself. It exists so tools/ngdlint can enumerate
+/// every site in src/ and enforce that each one is armed by at least one
+/// test under tests/ — a failpoint no test ever fires is untested crash
+/// handling. New sites MUST use this marker (ngdlint only sees marked
+/// sites).
+#define NGD_FAILPOINT(site) site
+
 namespace ngd {
 namespace failpoint {
 

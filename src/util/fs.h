@@ -20,7 +20,7 @@
 namespace ngd {
 
 /// write(2) loop; retries partial writes and EINTR.
-Status WriteAllFd(int fd, std::string_view bytes);
+[[nodiscard]] Status WriteAllFd(int fd, std::string_view bytes);
 
 /// Writes `bytes` to `fd`, honoring any failpoint armed at `site`
 /// (nullptr = no injection):
@@ -31,22 +31,22 @@ Status WriteAllFd(int fd, std::string_view bytes);
 ///   enospc   — nothing written, kResourceExhausted
 ///   syncfail — full clean write; *defer_sync_failure set so the caller's
 ///              next SyncFdWithFailpoint / fsync step reports the fault
-Status WriteWithFailpoint(int fd, std::string_view bytes, const char* site,
+[[nodiscard]] Status WriteWithFailpoint(int fd, std::string_view bytes, const char* site,
                           bool* defer_sync_failure);
 
 /// fsync(2) as a Status; any mode armed at `site` makes it fail.
-Status SyncFdWithFailpoint(int fd, const char* site);
+[[nodiscard]] Status SyncFdWithFailpoint(int fd, const char* site);
 
 /// Atomic replace: tmp + write + fsync + rename + parent-dir fsync. On
 /// any failure `path` is untouched (a stale `<path>.tmp` may remain, as
 /// after a real crash; the next attempt truncates it). `failpoint_site`
 /// names the injection site for the data write and its fsync.
-Status WriteFileAtomic(const std::string& path, std::string_view bytes,
+[[nodiscard]] Status WriteFileAtomic(const std::string& path, std::string_view bytes,
                        const char* failpoint_site = nullptr);
 
 /// fsync of the directory containing `path` (so a completed rename
 /// survives power loss). Best effort: ENOTSUP-style failures are ignored.
-Status FsyncParentDir(const std::string& path);
+[[nodiscard]] Status FsyncParentDir(const std::string& path);
 
 }  // namespace ngd
 

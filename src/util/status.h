@@ -27,7 +27,12 @@ enum class StatusCode {
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
-class Status {
+///
+/// [[nodiscard]] at class scope: ANY function returning Status by value —
+/// library, tests, tools — errors out under -Werror when the caller drops
+/// the return. Ignoring a failure must be spelled `(void)expr;` with a
+/// comment saying why the failure is ignorable.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -77,9 +82,10 @@ class Status {
 
 const char* StatusCodeName(StatusCode code);
 
-/// A value-or-error wrapper. Holds T iff status().ok().
+/// A value-or-error wrapper. Holds T iff status().ok(). [[nodiscard]]
+/// like Status: dropping a StatusOr drops the error with it.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status)  // NOLINT: implicit by design
       : status_(std::move(status)) {

@@ -25,6 +25,7 @@
 #include "parallel/pdect.h"
 #include "parallel/pinc_dect.h"
 #include "test_util.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace ngd {
@@ -152,6 +153,22 @@ TEST(FragmentRuntimeTest, SaveLoadRoundTripsDetection) {
   PDectResult r = PDect(*w.graph, w.sigma, opts);
   ExpectSameVio(oracle, r.vio);
   EXPECT_EQ(r.metrics.replicated_nodes, loaded->total_halo_nodes());
+}
+
+// The fragment_write failpoint site must be armable and surface its
+// injected failure as a Status from Save (per-site coverage enforced by
+// ngdlint's failpoint-unarmed rule).
+TEST(FragmentRuntimeTest, FragmentWriteFailpointSurfacesFailure) {
+  SchemaPtr schema = Schema::Create();
+  auto g = GenerateGraph(SyntheticConfig(60, 150, 55), schema);
+  FragmentRuntime rt(*g, 2, GraphView::kNew, 1);
+  const std::string prefix = ::testing::TempDir() + "/frag_fp";
+  failpoint::Reset();
+  failpoint::ArmSite("fragment_write", failpoint::Mode::kEnospc);
+  const Status st = rt.Save(prefix);
+  failpoint::Reset();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
 }
 
 TEST(FragmentRuntimeTest, CorruptFragmentFileIsRejected) {

@@ -123,6 +123,8 @@ TEST(OverlayAdjacencyTest, AdjacencyMirrorsEdgeIndex) {
     NodeId s = static_cast<NodeId>(rng.UniformInt(0, 9));
     NodeId d = static_cast<NodeId>(rng.UniformInt(0, 9));
     if (s == d) continue;
+    // Random ops legitimately fail (duplicate insert, missing delete);
+    // the property under test only cares about the surviving edge set.
     switch (rng.UniformInt(0, 3)) {
       case 0:
         (void)g.AddEdge(s, d, l);

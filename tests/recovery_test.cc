@@ -257,6 +257,39 @@ TEST(RecoveryTest, KillAtEveryFailpointConvergesToTheOracle) {
   RemoveStateFiles(snap_path, wal_path);
 }
 
+// ---- Per-site arming -------------------------------------------------------
+
+// Every NGD_FAILPOINT site on the journal/snapshot path must be
+// individually armable, surface its injected failure as a Status, and
+// leave state recovery can converge from. ngdlint enforces that each
+// site string is named by at least one test; this is that test for the
+// durability sites (vioseg_write lives in vio_stream_test, and
+// fragment_write in fragment_dect_test).
+TEST(RecoveryTest, EveryDurabilitySiteFiresAndRecovers) {
+  const std::string snap_path = TestPath("recovery_site.ngds");
+  const std::string wal_path = TestPath("recovery_site.wal");
+  const uint64_t seed = 7;
+
+  SchemaPtr sigma_schema;
+  std::unique_ptr<Graph> base = OracleAt(seed, 0, &sigma_schema);
+  const NgdSet sigma = SigmaFor(*base, seed);
+
+  std::map<uint64_t, OracleState> oracles;
+  for (const char* site : {"snapshot_write", "wal_create", "wal_append",
+                           "wal_sync", "rotate_snapshot"}) {
+    RemoveStateFiles(snap_path, wal_path);
+    failpoint::Reset();
+    failpoint::ArmSite(site, failpoint::Mode::kEnospc);
+    const WorkloadOutcome run = RunWorkload(snap_path, wal_path, seed);
+    failpoint::Reset();
+    ASSERT_TRUE(run.crashed)
+        << "site " << site << " is not on the workload's path";
+    CheckRecovery(snap_path, wal_path, seed, run, sigma, &oracles, site);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  RemoveStateFiles(snap_path, wal_path);
+}
+
 // ---- Randomized seeds and crash points ------------------------------------
 
 TEST(RecoveryTest, RandomizedCrashesConvergeAcrossWorkloads) {

@@ -73,6 +73,11 @@ struct NamedGraph {
   std::unique_ptr<Graph> graph;
 };
 
+/// Fixture edges always join freshly created nodes under base labels, so
+/// AddEdge cannot fail; the check-discard keeps the builders readable
+/// without dropping the Status on the floor.
+inline void MustEdge(Status s) { EXPECT_TRUE(s.ok()) << s.ToString(); }
+
 /// G1: BBC_Trust created 2007, destroyed 1946 (violates φ1).
 /// val attributes are day numbers; any created > destroyed pair works.
 inline NamedGraph BuildG1() {
@@ -83,8 +88,8 @@ inline NamedGraph BuildG1() {
   g.graph->SetAttr(created, "val", Value(int64_t{732800}));  // 2007-ish
   NodeId destroyed = g.graph->AddNode("date");
   g.graph->SetAttr(destroyed, "val", Value(int64_t{710700}));  // 1946-08-28
-  (void)g.graph->AddEdge(trust, created, "wasCreatedOnDate");
-  (void)g.graph->AddEdge(trust, destroyed, "wasDestroyedOnDate");
+  MustEdge(g.graph->AddEdge(trust, created, "wasCreatedOnDate"));
+  MustEdge(g.graph->AddEdge(trust, destroyed, "wasDestroyedOnDate"));
   return g;
 }
 
@@ -98,9 +103,9 @@ inline NamedGraph BuildG2() {
     g.graph->SetAttr(n, "val", Value(v));
     return n;
   };
-  (void)g.graph->AddEdge(area, add_int("integer", 600), "femalePopulation");
-  (void)g.graph->AddEdge(area, add_int("integer", 722), "malePopulation");
-  (void)g.graph->AddEdge(area, add_int("integer", 1572), "populationTotal");
+  MustEdge(g.graph->AddEdge(area, add_int("integer", 600), "femalePopulation"));
+  MustEdge(g.graph->AddEdge(area, add_int("integer", 722), "malePopulation"));
+  MustEdge(g.graph->AddEdge(area, add_int("integer", 1572), "populationTotal"));
   return g;
 }
 
@@ -112,8 +117,8 @@ inline NamedGraph BuildG3() {
   NodeId california = g.graph->AddNode("place");
   NodeId corona = g.graph->AddNode("place");
   NodeId downey = g.graph->AddNode("place");
-  (void)g.graph->AddEdge(corona, california, "partof");
-  (void)g.graph->AddEdge(downey, california, "partof");
+  MustEdge(g.graph->AddEdge(corona, california, "partof"));
+  MustEdge(g.graph->AddEdge(downey, california, "partof"));
   auto add_int = [&](int64_t v) {
     NodeId n = g.graph->AddNode("integer");
     g.graph->SetAttr(n, "val", Value(v));
@@ -123,14 +128,14 @@ inline NamedGraph BuildG3() {
   NodeId pop_downey = add_int(111772);
   NodeId rank_corona = add_int(33);
   NodeId rank_downey = add_int(11);
-  (void)g.graph->AddEdge(corona, pop_corona, "population");
-  (void)g.graph->AddEdge(downey, pop_downey, "population");
-  (void)g.graph->AddEdge(corona, rank_corona, "populationRank");
-  (void)g.graph->AddEdge(downey, rank_downey, "populationRank");
+  MustEdge(g.graph->AddEdge(corona, pop_corona, "population"));
+  MustEdge(g.graph->AddEdge(downey, pop_downey, "population"));
+  MustEdge(g.graph->AddEdge(corona, rank_corona, "populationRank"));
+  MustEdge(g.graph->AddEdge(downey, rank_downey, "populationRank"));
   NodeId census = g.graph->AddNode("date");
   g.graph->SetAttr(census, "val", Value(int64_t{20140401}));
-  (void)g.graph->AddEdge(pop_corona, census, "date");
-  (void)g.graph->AddEdge(pop_downey, census, "date");
+  MustEdge(g.graph->AddEdge(pop_corona, census, "date"));
+  MustEdge(g.graph->AddEdge(pop_downey, census, "date"));
   return g;
 }
 
@@ -154,16 +159,16 @@ inline NamedGraph BuildG4(G4Nodes* nodes = nullptr) {
     return n;
   };
   NodeId real = g.graph->AddNode("account");
-  (void)g.graph->AddEdge(real, natwest, "keys");
-  (void)g.graph->AddEdge(real, add_int("integer", 75900), "follower");
-  (void)g.graph->AddEdge(real, add_int("integer", 22000), "following");
-  (void)g.graph->AddEdge(real, add_int("boolean", 1), "status");
+  MustEdge(g.graph->AddEdge(real, natwest, "keys"));
+  MustEdge(g.graph->AddEdge(real, add_int("integer", 75900), "follower"));
+  MustEdge(g.graph->AddEdge(real, add_int("integer", 22000), "following"));
+  MustEdge(g.graph->AddEdge(real, add_int("boolean", 1), "status"));
   NodeId fake = g.graph->AddNode("account");
   NodeId fake_status = add_int("boolean", 1);  // claims to be real: error
-  (void)g.graph->AddEdge(fake, natwest, "keys");
-  (void)g.graph->AddEdge(fake, add_int("integer", 2), "follower");
-  (void)g.graph->AddEdge(fake, add_int("integer", 1), "following");
-  (void)g.graph->AddEdge(fake, fake_status, "status");
+  MustEdge(g.graph->AddEdge(fake, natwest, "keys"));
+  MustEdge(g.graph->AddEdge(fake, add_int("integer", 2), "follower"));
+  MustEdge(g.graph->AddEdge(fake, add_int("integer", 1), "following"));
+  MustEdge(g.graph->AddEdge(fake, fake_status, "status"));
   if (nodes != nullptr) {
     *nodes = G4Nodes{natwest, real, fake, fake_status};
   }

@@ -374,7 +374,7 @@ TEST(VioStreamHeavyTest, MillionViolationsStayUnderBudget) {
     for (int i = 0; i < kObs; ++i) {
       const NodeId obs = g.AddNode("integer");
       g.SetAttr(obs, "val", Value(int64_t{i}));
-      (void)g.AddEdge(hub, obs, "obs");
+      (void)g.AddEdge(hub, obs, "obs");  // fresh nodes: cannot fail
     }
   }
   NgdSet sigma = testing_util::MustParse(R"(

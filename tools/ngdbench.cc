@@ -1000,7 +1000,7 @@ bool RunViolationStream(const Options& opts, StreamStats* out) {
     for (int i = 0; i < obs; ++i) {
       const NodeId ov = g.AddNode(obs_label);
       g.SetAttr(ov, val, Value(int64_t{i}));
-      (void)g.AddEdge(hv, ov, observes);
+      (void)g.AddEdge(hv, ov, observes);  // fresh nodes: cannot fail
     }
   }
   NgdSet sigma;

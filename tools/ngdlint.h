@@ -1,0 +1,34 @@
+// ngdlint: project-invariant linter for the ngd tree.
+//
+// Enforces rules no generic tool knows about (see tools/ngdlint.cc for
+// the rule list). The scanning core is exposed here so ngdlint_test can
+// drive it against fixture trees in-process; the CLI wrapper in
+// ngdlint.cc formats findings as "file:line: [rule] message" and exits
+// non-zero when any rule fires.
+
+#ifndef NGD_TOOLS_NGDLINT_H_
+#define NGD_TOOLS_NGDLINT_H_
+
+#include <string>
+#include <vector>
+
+namespace ngdlint {
+
+struct Finding {
+  std::string file;  // path relative to the lint root, '/' separators
+  int line = 0;      // 1-based; 0 for whole-tree findings
+  std::string rule;  // stable rule id, e.g. "failpoint-unarmed"
+  std::string message;
+};
+
+/// Lints the tree rooted at `root`, which must contain a src/ directory
+/// (tests/ is optional but required for failpoint-arming checks to
+/// pass). Returns all findings sorted by (file, line, rule).
+std::vector<Finding> LintTree(const std::string& root);
+
+/// "file:line: [rule] message" (whole-tree findings omit ":line").
+std::string FormatFinding(const Finding& f);
+
+}  // namespace ngdlint
+
+#endif  // NGD_TOOLS_NGDLINT_H_
